@@ -1,0 +1,33 @@
+# SprintCon reproduction — common targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench report experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l .
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sim/ ./internal/experiments/ ./internal/cluster/
+
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+report:
+	$(GO) run ./cmd/report -o REPORT.md -figdir figs
+
+experiments:
+	$(GO) run ./cmd/experiments -exp all
+
+clean:
+	rm -f REPORT.md bench_output.txt test_output.txt
+	rm -rf figs

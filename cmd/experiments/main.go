@@ -1,0 +1,125 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp all          # every experiment, DESIGN.md order
+//	experiments -exp fig5         # one experiment
+//	experiments -exp fig6 -plot   # with ASCII series plots
+//
+// Experiments: fig1 fig2 fig3 fig5 fig6 fig7 fig8a fig8b headline
+// ablation-controller ablation-schedule ablation-ups sensitivity qos
+// daily-cost all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sprintcon/internal/experiments"
+	"sprintcon/internal/seriesio"
+	"sprintcon/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		exp  = flag.String("exp", "all", "experiment id (see package doc)")
+		plot = flag.Bool("plot", false, "print ASCII sparkline plots for time-series figures")
+	)
+	flag.Parse()
+
+	switch *exp {
+	case "all":
+		tables, err := experiments.All()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+	case "fig1":
+		print1(experiments.Fig1PerWattSpeedup())
+	case "fig2":
+		print1(experiments.Fig2TripCurve())
+	case "fig3":
+		print1(experiments.Fig3PeriodicSprint())
+	case "fig5":
+		t, res, err := experiments.Fig5Uncontrolled()
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.Fprint(os.Stdout)
+		if *plot {
+			plotSeries(res)
+		}
+	case "fig6":
+		t, all, err := experiments.Fig6PowerBehavior()
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.Fprint(os.Stdout)
+		if *plot {
+			for _, name := range []string{"SprintCon", "SGCT-V1", "SGCT-V2"} {
+				fmt.Printf("--- %s ---\n", name)
+				plotSeries(all[name])
+			}
+		}
+	case "fig7":
+		print1(experiments.Fig7FrequencyBehavior())
+	case "fig8a":
+		print1(experiments.Fig8aTimeUse())
+	case "fig8b":
+		print1(experiments.Fig8bDoD())
+	case "headline":
+		print1(experiments.Headline())
+	case "ablation-controller":
+		print1(experiments.AblationController())
+	case "ablation-schedule":
+		print1(experiments.AblationOverloadSchedule())
+	case "ablation-ups":
+		print1(experiments.AblationUPSControl())
+	case "sensitivity":
+		print1(experiments.Sensitivity())
+	case "qos":
+		print1(experiments.QoSComparison())
+	case "daily-cost":
+		print1(experiments.DailyCost())
+	case "ablation-estimation":
+		print1(experiments.AblationEstimation())
+	case "cluster":
+		print1(experiments.ClusterStagger())
+	case "battery-provisioning":
+		print1(experiments.BatteryProvisioning())
+	case "burst-regimes":
+		print1(experiments.BurstRegimes())
+	case "efficiency":
+		print1(experiments.EnergyEfficiency())
+	case "sprinting-benefit":
+		print1(experiments.SprintingBenefit())
+	default:
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}
+
+func print1(t *experiments.Table, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+	t.Fprint(os.Stdout)
+}
+
+func plotSeries(res *sim.Result) {
+	const width = 90
+	s := &res.Series
+	fmt.Println(seriesio.PlotRow("total", s.TotalW, width, "W"))
+	fmt.Println(seriesio.PlotRow("cb", s.CBW, width, "W"))
+	fmt.Println(seriesio.PlotRow("cb budget", s.PCbW, width, "W"))
+	fmt.Println(seriesio.PlotRow("ups", s.UPSW, width, "W"))
+	fmt.Println(seriesio.PlotRow("freq inter", s.FreqInter, width, "norm"))
+	fmt.Println(seriesio.PlotRow("freq batch", s.FreqBatch, width, "norm"))
+	fmt.Println(seriesio.PlotRow("ups soc", s.SoC, width, "frac"))
+	fmt.Println()
+}

@@ -1,0 +1,151 @@
+// Command report regenerates every experiment and renders a single
+// Markdown report (tables, notes, and ASCII series plots for the headline
+// comparison) — the one-command artifact for checking a fresh checkout
+// against the paper.
+//
+// Usage:
+//
+//	report -o REPORT.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sprintcon/internal/experiments"
+	"sprintcon/internal/seriesio"
+	"sprintcon/internal/sim"
+	"sprintcon/internal/svgplot"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("report: ")
+	out := flag.String("o", "REPORT.md", "output Markdown file")
+	figDir := flag.String("figdir", "", "also write SVG figures (Fig. 5–7 style) into this directory")
+	flag.Parse()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# SprintCon reproduction report\n\n")
+	fmt.Fprintf(&b, "Generated %s by `cmd/report`. Deterministic given the default seeds.\n\n",
+		time.Now().UTC().Format(time.RFC3339))
+
+	tables, err := experiments.All()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range tables {
+		writeTable(&b, t)
+	}
+
+	// The Fig. 6-style series panel for the headline comparison.
+	fmt.Fprintf(&b, "## Power and frequency series (default 15-minute sprint)\n\n")
+	all, err := experiments.RunAll(sim.DefaultScenario())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range []string{"SprintCon", "SGCT", "SGCT-V1", "SGCT-V2"} {
+		r := all[name]
+		fmt.Fprintf(&b, "### %s\n\n```\n", name)
+		const width = 100
+		fmt.Fprintln(&b, seriesio.PlotRow("total", r.Series.TotalW, width, "W"))
+		fmt.Fprintln(&b, seriesio.PlotRow("cb", r.Series.CBW, width, "W"))
+		fmt.Fprintln(&b, seriesio.PlotRow("cb budget", r.Series.PCbW, width, "W"))
+		fmt.Fprintln(&b, seriesio.PlotRow("ups", r.Series.UPSW, width, "W"))
+		fmt.Fprintln(&b, seriesio.PlotRow("freq inter", r.Series.FreqInter, width, "norm"))
+		fmt.Fprintln(&b, seriesio.PlotRow("freq batch", r.Series.FreqBatch, width, "norm"))
+		fmt.Fprintln(&b, seriesio.PlotRow("ups soc", r.Series.SoC, width, "frac"))
+		fmt.Fprintf(&b, "```\n\n")
+		if len(r.Events) > 0 {
+			fmt.Fprintf(&b, "Events:\n\n```\n")
+			for _, e := range r.Events {
+				fmt.Fprintln(&b, e)
+			}
+			fmt.Fprintf(&b, "```\n\n")
+		}
+	}
+
+	if *figDir != "" {
+		if err := writeFigures(*figDir, all); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(&b, "SVG figures written to %s.\n", *figDir)
+	}
+
+	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("report written to %s\n", *out)
+}
+
+// writeFigures renders the paper-style power and frequency charts per
+// policy as SVG files.
+func writeFigures(dir string, all map[string]*sim.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, r := range all {
+		slug := strings.ToLower(strings.ReplaceAll(name, " ", "-"))
+		power := svgplot.Chart{
+			Title:  name + " — power behaviour (paper Fig. 5/6 style)",
+			XLabel: "time (s)",
+			YLabel: "power (W)",
+			X:      r.Series.Time,
+			Series: []svgplot.Series{
+				{Name: "total", Y: r.Series.TotalW},
+				{Name: "CB actual", Y: r.Series.CBW},
+				{Name: "CB budget", Y: r.Series.PCbW},
+				{Name: "UPS", Y: r.Series.UPSW},
+			},
+		}
+		if err := renderTo(filepath.Join(dir, slug+"-power.svg"), power); err != nil {
+			return err
+		}
+		freq := svgplot.Chart{
+			Title:  name + " — frequency behaviour (paper Fig. 7 style)",
+			XLabel: "time (s)",
+			YLabel: "normalized frequency",
+			X:      r.Series.Time,
+			Series: []svgplot.Series{
+				{Name: "interactive", Y: r.Series.FreqInter},
+				{Name: "batch", Y: r.Series.FreqBatch},
+			},
+		}
+		if err := renderTo(filepath.Join(dir, slug+"-freq.svg"), freq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func renderTo(path string, c svgplot.Chart) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.Render(f)
+}
+
+// writeTable renders one experiment table as a Markdown table.
+func writeTable(b *strings.Builder, t *experiments.Table) {
+	fmt.Fprintf(b, "## %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(b, "| %s |\n", strings.Join(t.Columns, " | "))
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(b, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(b, "| %s |\n", strings.Join(row, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(b, "\n> %s\n", n)
+	}
+	fmt.Fprintln(b)
+}

@@ -1,0 +1,156 @@
+// Command sprintsim runs one sprinting scenario under a chosen policy and
+// prints a summary plus (optionally) the per-tick time series as CSV.
+//
+// Usage:
+//
+//	sprintsim -policy sprintcon -deadline 720 -duration 900 [-csv out.csv]
+//
+// Policies: sprintcon, sprintcon-pi, sgct, sgct-v1, sgct-v2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sprintcon/internal/baseline"
+	"sprintcon/internal/core"
+	"sprintcon/internal/seriesio"
+	"sprintcon/internal/sim"
+	"sprintcon/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sprintsim: ")
+
+	var (
+		policyName = flag.String("policy", "sprintcon", "policy: sprintcon, sprintcon-pi, nosprint, sgct, sgct-v1, sgct-v2")
+		deadline   = flag.Float64("deadline", 720, "batch deadline in seconds")
+		duration   = flag.Float64("duration", 900, "sprint duration in seconds")
+		csvPath    = flag.String("csv", "", "write the per-tick time series to this CSV file")
+		seed       = flag.Int64("seed", 1, "interactive trace seed")
+		jobs       = flag.Bool("jobs", false, "print per-job completion details")
+		events     = flag.Bool("events", false, "print the run's structured event log")
+		tracePath  = flag.String("trace", "", "replay an interactive demand trace from this CSV (time_s,demand_frac)")
+		scenPath   = flag.String("scenario", "", "load the scenario from this JSON file (see -dump-scenario)")
+		dumpScen   = flag.Bool("dump-scenario", false, "print the default scenario as JSON and exit")
+	)
+	flag.Parse()
+
+	if *dumpScen {
+		if err := sim.DefaultScenario().WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	scn := sim.DefaultScenario()
+	if *scenPath != "" {
+		f, err := os.Open(*scenPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scn, err = sim.ScenarioFromJSON(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		scn.DurationS = *duration
+		scn.BurstDurationS = *duration
+		scn.BatchDeadlineS = *deadline
+		scn.Interactive.Seed = *seed
+		scn.Interactive.BurstEndS = *duration
+	}
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := workload.TraceFromCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		scn.Trace = tr
+	}
+
+	policy, err := policyByName(*policyName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(scn, policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	printSummary(res)
+	if *events {
+		for _, e := range res.Events {
+			fmt.Println(" ", e)
+		}
+	}
+	if *jobs {
+		for _, j := range res.Jobs {
+			status := "ok"
+			if j.Missed {
+				status = "MISSED"
+			}
+			fmt.Printf("  %-14s %-8s done=%7.1fs progress=%.2f %s\n",
+				j.Name, j.Core, j.CompletionS, j.Progress, status)
+		}
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := seriesio.WriteCSV(f, &res.Series); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("time series written to %s\n", *csvPath)
+	}
+}
+
+func policyByName(name string) (sim.Policy, error) {
+	switch name {
+	case "sprintcon":
+		return core.New(core.DefaultConfig()), nil
+	case "sprintcon-pi":
+		cfg := core.DefaultConfig()
+		cfg.Controller = core.ControllerPI
+		return core.New(cfg), nil
+	case "nosprint":
+		cfg := core.DefaultConfig()
+		cfg.NoSprint = true
+		return core.New(cfg), nil
+	case "sgct":
+		return baseline.New(baseline.SGCT), nil
+	case "sgct-v1":
+		return baseline.New(baseline.SGCTV1), nil
+	case "sgct-v2":
+		return baseline.New(baseline.SGCTV2), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func printSummary(r *sim.Result) {
+	fmt.Printf("policy:               %s\n", r.Policy)
+	fmt.Printf("avg freq interactive: %.3f\n", r.AvgFreqInter)
+	fmt.Printf("avg freq batch:       %.3f\n", r.AvgFreqBatch)
+	fmt.Printf("CB trips:             %d\n", r.CBTrips)
+	fmt.Printf("outage:               %.0f s\n", r.OutageS)
+	fmt.Printf("UPS DoD:              %.1f %%\n", 100*r.UPSDoD)
+	fmt.Printf("UPS discharged:       %.1f Wh\n", r.UPSDischargedWh)
+	fmt.Printf("jobs completed:       %d/%d (deadline misses: %d)\n",
+		r.JobsCompletedOnce, r.JobsTotal, r.DeadlineMisses)
+	fmt.Printf("normalized time use:  %.3f\n", r.NormalizedTimeUse())
+	fmt.Printf("CB over budget:       %.2f %% of controlled ticks\n", 100*r.CBOverBudgetFrac)
+	fmt.Printf("CB tracking error:    %.1f W\n", r.CBTrackingErrorW)
+	fmt.Printf("energy total/CB/over: %.0f / %.0f / %.0f Wh\n",
+		r.EnergyTotalWh, r.EnergyCBWh, r.EnergyCBOverWh)
+}

@@ -1,0 +1,85 @@
+// Command tracegen emits the workload traces the evaluation uses as CSV:
+// the Wikipedia-like interactive demand trace, or per-benchmark batch
+// execution profiles (rate and power versus frequency).
+//
+// Usage:
+//
+//	tracegen -kind interactive -duration 900 -seed 1 > interactive.csv
+//	tracegen -kind batch > batch_profiles.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"sprintcon/internal/server"
+	"sprintcon/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	var (
+		kind     = flag.String("kind", "interactive", "interactive or batch")
+		duration = flag.Float64("duration", 900, "trace duration in seconds (interactive)")
+		dt       = flag.Float64("dt", 1, "trace step in seconds (interactive)")
+		seed     = flag.Int64("seed", 1, "generator seed (interactive)")
+	)
+	flag.Parse()
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	switch *kind {
+	case "interactive":
+		cfg := workload.DefaultInteractiveConfig()
+		cfg.Seed = *seed
+		cfg.BurstEndS = *duration
+		tr, err := workload.GenInteractive(cfg, *duration, *dt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Write([]string{"time_s", "demand_frac"}); err != nil {
+			log.Fatal(err)
+		}
+		for i, d := range tr.Demand {
+			rec := []string{
+				strconv.FormatFloat(float64(i)**dt, 'f', 3, 64),
+				strconv.FormatFloat(d, 'f', 5, 64),
+			}
+			if err := w.Write(rec); err != nil {
+				log.Fatal(err)
+			}
+		}
+		s := tr.Summary()
+		fmt.Fprintf(os.Stderr, "interactive trace: mean %.3f min %.3f max %.3f std %.3f\n",
+			s.Mean, s.Min, s.Max, s.Std)
+
+	case "batch":
+		params := server.DefaultParams()
+		co := params.DesignCoeffs(0.9)
+		if err := w.Write([]string{"benchmark", "freq_ghz", "rate", "power_w_linear_model"}); err != nil {
+			log.Fatal(err)
+		}
+		for _, spec := range workload.SpecCPU2006() {
+			for _, f := range params.PStates.Freqs() {
+				rec := []string{
+					spec.Name,
+					strconv.FormatFloat(f, 'f', 1, 64),
+					strconv.FormatFloat(spec.Rate(f, params.PStates.Max()), 'f', 4, 64),
+					strconv.FormatFloat(co.KWPerGHz*f+co.CIdleShareW, 'f', 2, 64),
+				}
+				if err := w.Write(rec); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+
+	default:
+		log.Fatalf("unknown kind %q (want interactive or batch)", *kind)
+	}
+}

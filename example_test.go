@@ -1,0 +1,63 @@
+package sprintcon_test
+
+import (
+	"fmt"
+	"strings"
+
+	"sprintcon"
+)
+
+// Run a short sprint under SprintCon and check the safety invariants.
+func Example() {
+	scn := sprintcon.DefaultScenario()
+	scn.DurationS = 120
+	scn.BurstDurationS = 120
+	scn.BatchDeadlineS = 110
+	scn.WorkReferenceS = 110
+
+	res, err := sprintcon.Run(scn, sprintcon.New(sprintcon.DefaultConfig()))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("trips=%d outage=%.0fs interactive=%.2f\n",
+		res.CBTrips, res.OutageS, res.AvgFreqInter)
+	// Output:
+	// trips=0 outage=0s interactive=1.00
+}
+
+// Compare against one of the paper's baselines.
+func ExampleNewBaseline() {
+	p, err := sprintcon.NewBaseline("sgct-v2")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.Name())
+	// Output:
+	// SGCT-V2
+}
+
+// Replay a production interactive trace instead of the generator.
+func ExampleTraceFromCSV() {
+	csv := "time_s,demand_frac\n0,0.5\n1,0.6\n2,0.7\n"
+	tr, err := sprintcon.TraceFromCSV(strings.NewReader(csv))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.0f samples at dt=%.0fs, demand(1s)=%.1f\n",
+		float64(len(tr.Demand)), tr.DtS, tr.At(1))
+	// Output:
+	// 3 samples at dt=1s, demand(1s)=0.6
+}
+
+// The paper's battery-economics argument, end to end.
+func ExampleEvaluateDaily() {
+	plan := sprintcon.DefaultDailyPlan()
+	out, err := sprintcon.EvaluateDaily(plan, sprintcon.New(sprintcon.DefaultConfig()))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("replacements over 10y: %d, recharge feasible: %v\n",
+		out.Replacements, out.RechargeFeasible)
+	// Output:
+	// replacements over 10y: 0, recharge feasible: true
+}

@@ -1,0 +1,55 @@
+// Flash crowd: a stress scenario beyond the paper's default — a sharper,
+// larger interactive burst arriving mid-sprint — comparing SprintCon with
+// the interactive-priority baseline SGCT-V2, with ASCII plots of the power
+// and frequency series.
+//
+//	go run ./examples/flashcrowd
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sprintcon"
+	"sprintcon/internal/seriesio"
+)
+
+func main() {
+	scn := sprintcon.DefaultScenario()
+	// A brutal crowd: idle-ish until minute 4, then a near-saturating
+	// spike for five minutes.
+	scn.Interactive.Base = 0.35
+	scn.Interactive.BurstStartS = 240
+	scn.Interactive.BurstEndS = 540
+	scn.Interactive.BurstPeak = 0.95
+	scn.Interactive.RampS = 20
+	scn.Interactive.SpikeProb = 0.03
+
+	fmt.Println("flash crowd: demand 0.35 → 0.95 of capacity at minute 4")
+	for _, name := range []string{"sprintcon", "sgct-v2"} {
+		var policy sprintcon.Policy
+		if name == "sprintcon" {
+			policy = sprintcon.New(sprintcon.DefaultConfig())
+		} else {
+			var err error
+			policy, err = sprintcon.NewBaseline(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		res, err := sprintcon.Run(scn, policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n=== %s ===\n", res.Policy)
+		fmt.Printf("interactive %.2f | batch %.2f | trips %d | outage %.0fs | DoD %.0f%% | misses %d\n",
+			res.AvgFreqInter, res.AvgFreqBatch, res.CBTrips, res.OutageS,
+			100*res.UPSDoD, res.DeadlineMisses)
+		const width = 72
+		fmt.Println(seriesio.PlotRow("total", res.Series.TotalW, width, "W"))
+		fmt.Println(seriesio.PlotRow("cb", res.Series.CBW, width, "W"))
+		fmt.Println(seriesio.PlotRow("ups", res.Series.UPSW, width, "W"))
+		fmt.Println(seriesio.PlotRow("freq batch", res.Series.FreqBatch, width, "norm"))
+		fmt.Println(seriesio.PlotRow("ups soc", res.Series.SoC, width, "frac"))
+	}
+}

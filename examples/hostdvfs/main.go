@@ -1,0 +1,62 @@
+// Host DVFS: drive SprintCon's server-modulator path against a (fake)
+// Linux sysfs tree — the exact file writes a real deployment would issue
+// to cpufreq, plus per-core utilization sampling from /proc/stat.
+//
+//	go run ./examples/hostdvfs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sprintcon/internal/hostctl"
+)
+
+func main() {
+	// An in-memory host with 8 cores at 0.4–2.0 GHz, exactly the paper's
+	// per-server configuration. Swap hostctl.NewMapFS()/SeedFakeHost for
+	// hostctl.OSFS{} to drive a real machine (root required).
+	fs := hostctl.NewMapFS()
+	hostctl.SeedFakeHost(fs, 8, []int{400000, 800000, 1200000, 1600000, 2000000})
+
+	mod, err := hostctl.NewModulator(fs, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discovered cores: %v (peak %.1f GHz)\n", mod.Cores(), mod.MaxGHz(0))
+
+	// The MPC controller emits continuous frequency commands; the
+	// modulator quantizes them onto the host's P-state table.
+	commands := []float64{1.37, 0.95, 2.0, 0.4, 1.62, 1.1, 1.8, 0.77}
+	for core, ghz := range commands {
+		if err := mod.Apply(core, ghz); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("\nsysfs writes a real host would receive:")
+	for _, w := range fs.Writes() {
+		fmt.Println(" ", w)
+	}
+
+	// Utilization monitoring: two /proc/stat samples bracket a control
+	// period; the delta yields per-core utilization.
+	sampler := hostctl.NewStatSampler(fs, "")
+	if _, err := sampler.Sample(); err != nil { // prime
+		log.Fatal(err)
+	}
+	fs.Set("/proc/stat",
+		"cpu  0 0 0 0 0\n"+
+			"cpu0 200 0 100 800 0 0 0 0\ncpu1 150 0 75 900 0 0 0 0\n"+
+			"cpu2 300 0 150 700 0 0 0 0\ncpu3 110 0 55 990 0 0 0 0\n"+
+			"cpu4 250 0 125 850 0 0 0 0\ncpu5 180 0 90 880 0 0 0 0\n"+
+			"cpu6 280 0 140 760 0 0 0 0\ncpu7 120 0 60 950 0 0 0 0\n")
+	utils, err := sampler.Sample()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nper-core utilization over the period:")
+	for _, core := range mod.Cores() {
+		fmt.Printf("  cpu%d: %.2f\n", core, utils[core])
+	}
+}

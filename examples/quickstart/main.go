@@ -1,0 +1,48 @@
+// Quickstart: run the paper's default 15-minute sprint under SprintCon and
+// print the headline metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sprintcon"
+)
+
+func main() {
+	// The paper's evaluation setup: 16 servers (150–300 W each) behind a
+	// 3.2 kW breaker with a 400 Wh UPS, a flash crowd on the interactive
+	// cores and SPEC-like batch jobs due 12 minutes in.
+	scn := sprintcon.DefaultScenario()
+
+	res, err := sprintcon.Run(scn, sprintcon.New(sprintcon.DefaultConfig()))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("SprintCon 15-minute sprint")
+	fmt.Printf("  interactive frequency: %.2f of peak (the point of sprinting)\n", res.AvgFreqInter)
+	fmt.Printf("  batch frequency:       %.2f of peak (throttled to just meet deadlines)\n", res.AvgFreqBatch)
+	fmt.Printf("  breaker trips:         %d\n", res.CBTrips)
+	fmt.Printf("  outage:                %.0f s\n", res.OutageS)
+	fmt.Printf("  UPS depth of discharge %.0f %% (battery wear)\n", 100*res.UPSDoD)
+	fmt.Printf("  batch deadlines:       %d/%d met, latest done at %.2f of deadline\n",
+		res.JobsTotal-res.DeadlineMisses, res.JobsTotal, res.NormalizedTimeUse())
+
+	// The same sprint under the uncontrolled sprinting game, for contrast.
+	sgct, err := sprintcon.NewBaseline("sgct")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bad, err := sprintcon.Run(scn, sgct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nUncontrolled sprinting (SGCT), same sprint")
+	fmt.Printf("  breaker trips:         %d\n", bad.CBTrips)
+	fmt.Printf("  outage:                %.0f s\n", bad.OutageS)
+	fmt.Printf("  UPS depth of discharge %.0f %%\n", 100*bad.UPSDoD)
+	fmt.Printf("  interactive frequency: %.2f of peak\n", bad.AvgFreqInter)
+}

@@ -1,0 +1,3 @@
+module sprintcon
+
+go 1.22

@@ -1,0 +1,43 @@
+package breaker_test
+
+import (
+	"fmt"
+
+	"sprintcon/internal/breaker"
+)
+
+// The trip-time curve of the paper's Fig. 2: how long each overload degree
+// can be sustained from cold.
+func ExampleBreaker_TripTime() {
+	b, err := breaker.New(breaker.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	for _, o := range []float64{1.25, 1.5, 2.0} {
+		fmt.Printf("%.2fx -> %.0f s\n", o, b.TripTime(o))
+	}
+	// Output:
+	// 1.25x -> 155 s
+	// 1.50x -> 70 s
+	// 2.00x -> 29 s
+}
+
+// The paper's periodic overload schedule never trips: 150 s at 1.25× then
+// 300 s of recovery.
+func ExampleBreaker_Step() {
+	b, err := breaker.New(breaker.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		for s := 0; s < 150; s++ {
+			b.Step(1.25*b.RatedPower(), 1)
+		}
+		for s := 0; s < 300; s++ {
+			b.Step(b.RatedPower(), 1)
+		}
+	}
+	fmt.Printf("tripped=%v thermal=%.2f\n", b.Tripped(), b.ThermalFraction())
+	// Output:
+	// tripped=false thermal=0.00
+}

@@ -1,0 +1,143 @@
+// Package chippart implements the chip-level power-partitioning hook of
+// paper Section IV-D: when batch work is multi-threaded, SprintCon
+// "determine[s] the total frequency quota of a group of cores running the
+// same application, and then divide[s] the frequency quota to the cores in
+// the group" (following the chip-level allocation literature [25]–[28]).
+//
+// DivideQuota performs the division as weighted water-filling under
+// per-core frequency bounds; CriticalPathWeights derives the weights from
+// per-thread progress so the group's barrier-lagging threads receive more
+// frequency — the allocation that minimizes a fork-join application's
+// completion time.
+package chippart
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DivideQuota splits a total frequency quota (GHz, the sum across the
+// group) among n cores proportionally to weights, subject to
+// fmin ≤ f_i ≤ fmax. Cores that hit a bound drop out and their share is
+// redistributed (iterative water-filling). If the quota lies outside
+// [n·fmin, n·fmax] it is clamped to the nearest achievable total.
+// The returned frequencies sum to the (clamped) quota up to a small
+// tolerance.
+func DivideQuota(quotaGHz float64, weights []float64, fmin, fmax float64) ([]float64, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, errors.New("chippart: empty group")
+	}
+	if fmin <= 0 || fmax <= fmin {
+		return nil, errors.New("chippart: need 0 < fmin < fmax")
+	}
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("chippart: weight[%d] = %v must be non-negative", i, w)
+		}
+	}
+	quota := math.Min(math.Max(quotaGHz, float64(n)*fmin), float64(n)*fmax)
+
+	freqs := make([]float64, n)
+	for i := range freqs {
+		freqs[i] = fmin
+	}
+	remaining := quota - float64(n)*fmin
+	active := make([]bool, n)
+	var wsum float64
+	for i, w := range weights {
+		if w > 0 {
+			active[i] = true
+			wsum += w
+		}
+	}
+	// Zero-weight group: spread evenly.
+	if wsum == 0 {
+		for i := range freqs {
+			freqs[i] = quota / float64(n)
+		}
+		return freqs, nil
+	}
+
+	for iter := 0; iter < n+1 && remaining > 1e-12; iter++ {
+		if wsum <= 0 {
+			break
+		}
+		perWeight := remaining / wsum
+		var overflow float64
+		for i := range freqs {
+			if !active[i] {
+				continue
+			}
+			add := perWeight * weights[i]
+			if freqs[i]+add >= fmax {
+				overflow += freqs[i] + add - fmax
+				freqs[i] = fmax
+				active[i] = false
+				wsum -= weights[i]
+			} else {
+				freqs[i] += add
+			}
+		}
+		remaining = overflow
+	}
+	// If every positively weighted core pinned at fmax before the quota
+	// was spent, spill the rest evenly across the zero-weight cores
+	// (they exist, or the clamp above would have capped the quota).
+	for iter := 0; iter < n+1 && remaining > 1e-12; iter++ {
+		var unpinned int
+		for i := range freqs {
+			if freqs[i] < fmax {
+				unpinned++
+			}
+		}
+		if unpinned == 0 {
+			break
+		}
+		share := remaining / float64(unpinned)
+		remaining = 0
+		for i := range freqs {
+			if freqs[i] >= fmax {
+				continue
+			}
+			if freqs[i]+share >= fmax {
+				remaining += freqs[i] + share - fmax
+				freqs[i] = fmax
+			} else {
+				freqs[i] += share
+			}
+		}
+	}
+	return freqs, nil
+}
+
+// CriticalPathWeights converts per-thread progress (fractions of the
+// group's work completed) into division weights: the thread furthest
+// behind the group's front-runner gets the largest weight, so a fork-join
+// barrier is reached as early as possible. The returned weights are
+// strictly positive and sum to 1.
+func CriticalPathWeights(progress []float64) ([]float64, error) {
+	n := len(progress)
+	if n == 0 {
+		return nil, errors.New("chippart: empty group")
+	}
+	maxP := math.Inf(-1)
+	for i, p := range progress {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return nil, fmt.Errorf("chippart: progress[%d] = %v outside [0, 1]", i, p)
+		}
+		maxP = math.Max(maxP, p)
+	}
+	const eps = 0.02 // keeps the front-runner from starving entirely
+	weights := make([]float64, n)
+	var sum float64
+	for i, p := range progress {
+		weights[i] = maxP - p + eps
+		sum += weights[i]
+	}
+	for i := range weights {
+		weights[i] /= sum
+	}
+	return weights, nil
+}

@@ -1,0 +1,174 @@
+package chippart
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestDivideQuotaProportional(t *testing.T) {
+	// Quota 3.0 GHz over two cores with 2:1 weights, wide bounds:
+	// base 2×0.4 = 0.8, surplus 2.2 split 2:1.
+	freqs, err := DivideQuota(3.0, []float64{2, 1}, 0.4, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want0 := 0.4 + 2.2*2/3
+	want1 := 0.4 + 2.2*1/3
+	if math.Abs(freqs[0]-want0) > 1e-9 || math.Abs(freqs[1]-want1) > 1e-9 {
+		t.Fatalf("freqs = %v, want [%v %v]", freqs, want0, want1)
+	}
+	if math.Abs(sum(freqs)-3.0) > 1e-9 {
+		t.Fatalf("sum = %v", sum(freqs))
+	}
+}
+
+func TestDivideQuotaWaterfillsOverflow(t *testing.T) {
+	// A dominant weight pins at fmax; its overflow goes to the others.
+	freqs, err := DivideQuota(4.0, []float64{100, 1, 1}, 0.4, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freqs[0] != 2.0 {
+		t.Fatalf("dominant core %v, want pinned at 2.0", freqs[0])
+	}
+	if math.Abs(sum(freqs)-4.0) > 1e-9 {
+		t.Fatalf("sum = %v, want exactly the quota", sum(freqs))
+	}
+	if math.Abs(freqs[1]-freqs[2]) > 1e-9 {
+		t.Fatalf("equal-weight cores should match: %v", freqs)
+	}
+}
+
+func TestDivideQuotaClampsInfeasible(t *testing.T) {
+	// Quota below the floor: everyone at fmin.
+	freqs, err := DivideQuota(0.1, []float64{1, 1}, 0.4, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freqs[0] != 0.4 || freqs[1] != 0.4 {
+		t.Fatalf("freqs = %v, want all at fmin", freqs)
+	}
+	// Quota above the ceiling: everyone at fmax.
+	freqs, err = DivideQuota(100, []float64{1, 1}, 0.4, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freqs[0] != 2.0 || freqs[1] != 2.0 {
+		t.Fatalf("freqs = %v, want all at fmax", freqs)
+	}
+}
+
+func TestDivideQuotaZeroWeights(t *testing.T) {
+	freqs, err := DivideQuota(2.4, []float64{0, 0, 0}, 0.4, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range freqs {
+		if math.Abs(f-0.8) > 1e-9 {
+			t.Fatalf("zero weights should spread evenly: %v", freqs)
+		}
+	}
+}
+
+func TestDivideQuotaValidation(t *testing.T) {
+	if _, err := DivideQuota(1, nil, 0.4, 2.0); err == nil {
+		t.Fatal("empty group should error")
+	}
+	if _, err := DivideQuota(1, []float64{1}, 2.0, 0.4); err == nil {
+		t.Fatal("bad bounds should error")
+	}
+	if _, err := DivideQuota(1, []float64{-1}, 0.4, 2.0); err == nil {
+		t.Fatal("negative weight should error")
+	}
+}
+
+// Property: the division always sums to the clamped quota and respects the
+// bounds, for arbitrary weights and quotas.
+func TestDivideQuotaInvariantsProperty(t *testing.T) {
+	f := func(rawQuota float64, rawW [6]float64) bool {
+		weights := make([]float64, 6)
+		for i, w := range rawW {
+			weights[i] = math.Mod(math.Abs(w), 10)
+		}
+		quota := math.Mod(math.Abs(rawQuota), 20)
+		freqs, err := DivideQuota(quota, weights, 0.4, 2.0)
+		if err != nil {
+			return false
+		}
+		clamped := math.Min(math.Max(quota, 6*0.4), 6*2.0)
+		if math.Abs(sum(freqs)-clamped) > 1e-6 {
+			return false
+		}
+		for _, fr := range freqs {
+			if fr < 0.4-1e-9 || fr > 2.0+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCriticalPathWeights(t *testing.T) {
+	w, err := CriticalPathWeights([]float64{0.9, 0.5, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum(w)-1) > 1e-12 {
+		t.Fatalf("weights sum %v", sum(w))
+	}
+	// The laggard (0.5) gets the most; the front-runner (0.9) the least,
+	// but still something.
+	if !(w[1] > w[2] && w[2] > w[0] && w[0] > 0) {
+		t.Fatalf("weights = %v", w)
+	}
+}
+
+func TestCriticalPathWeightsValidation(t *testing.T) {
+	if _, err := CriticalPathWeights(nil); err == nil {
+		t.Fatal("empty group should error")
+	}
+	if _, err := CriticalPathWeights([]float64{1.5}); err == nil {
+		t.Fatal("progress > 1 should error")
+	}
+}
+
+// Integration shape: dividing a quota by critical-path weights narrows the
+// progress spread over repeated barriers.
+func TestQuotaDivisionConvergesBarrier(t *testing.T) {
+	progress := []float64{0.0, 0.3, 0.6}
+	work := 100.0 // peak-seconds each
+	for step := 0; step < 200; step++ {
+		w, err := CriticalPathWeights(progress)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freqs, err := DivideQuota(3.6, w, 0.4, 2.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range progress {
+			progress[i] = math.Min(1, progress[i]+freqs[i]/2.0/work)
+		}
+	}
+	spread := 0.0
+	for _, p := range progress {
+		for _, q := range progress {
+			spread = math.Max(spread, math.Abs(p-q))
+		}
+	}
+	if spread > 0.05 {
+		t.Fatalf("threads did not converge: %v (spread %v)", progress, spread)
+	}
+}

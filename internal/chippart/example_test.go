@@ -1,0 +1,24 @@
+package chippart_test
+
+import (
+	"fmt"
+
+	"sprintcon/internal/chippart"
+)
+
+// Divide a group frequency quota among the threads of one application so
+// the barrier-lagging thread catches up (paper Section IV-D).
+func ExampleDivideQuota() {
+	progress := []float64{0.8, 0.3, 0.55} // thread 1 is far behind
+	weights, err := chippart.CriticalPathWeights(progress)
+	if err != nil {
+		panic(err)
+	}
+	freqs, err := chippart.DivideQuota(3.6, weights, 0.4, 2.0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("f = [%.2f %.2f %.2f] GHz\n", freqs[0], freqs[1], freqs[2])
+	// Output:
+	// f = [0.46 1.94 1.20] GHz
+}

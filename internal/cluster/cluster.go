@@ -1,0 +1,132 @@
+// Package cluster coordinates SprintCon across multiple racks sharing a
+// data-center feeder — the scale the paper motivates ("the sprinting power
+// can consume the headroom in the data-center level power budget",
+// Section I) but leaves to future work. Each rack runs its own SprintCon
+// instance against its own breaker and UPS; the coordinator's one lever is
+// the *phase offset* of each rack's periodic overload schedule.
+//
+// Without coordination every rack overloads its breaker at the same time
+// and the feeder sees the full 1.25× aggregate peak. Staggering the
+// offsets by cycle/N keeps at most ⌈N·150/450⌉ racks in an overload phase
+// at once, flattening the aggregate draw.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"sprintcon/internal/alloc"
+	"sprintcon/internal/core"
+	"sprintcon/internal/sim"
+	"sprintcon/internal/stats"
+)
+
+// Config describes the rack group.
+type Config struct {
+	// NumRacks is the group size.
+	NumRacks int
+	// Scenario is the per-rack scenario; rack i runs it with the
+	// interactive seed offset by i so the racks see distinct traffic.
+	Scenario sim.Scenario
+	// Stagger spreads the racks' overload phases across the cycle.
+	Stagger bool
+	// FeederBudgetW is the shared feeder capacity for the group; the
+	// result reports how often the aggregate exceeds it. Zero disables
+	// the check.
+	FeederBudgetW float64
+	// SprintCon tunes the per-rack policy.
+	SprintCon core.Config
+}
+
+// DefaultConfig returns four paper racks behind a feeder provisioned at
+// the sum of the breaker ratings plus one rack's overload bonus — enough
+// for staggered sprinting, not for synchronized sprinting.
+func DefaultConfig() Config {
+	scn := sim.DefaultScenario()
+	return Config{
+		NumRacks:      4,
+		Scenario:      scn,
+		Stagger:       true,
+		FeederBudgetW: 4*scn.Breaker.RatedPower + 0.25*scn.Breaker.RatedPower*2,
+		SprintCon:     core.DefaultConfig(),
+	}
+}
+
+// Validate reports structural errors in the configuration.
+func (c Config) Validate() error {
+	if c.NumRacks <= 0 {
+		return errors.New("cluster: NumRacks must be positive")
+	}
+	if c.FeederBudgetW < 0 {
+		return errors.New("cluster: FeederBudgetW must be non-negative")
+	}
+	return c.Scenario.Validate()
+}
+
+// Result aggregates a coordinated run.
+type Result struct {
+	Racks []*sim.Result // per-rack results, index = rack id
+
+	// AggregateW is the feeder draw per tick (sum of rack CB draws; UPS
+	// discharge is rack-local and does not load the feeder).
+	AggregateW []float64
+	// PeakW and MeanW summarize the feeder draw.
+	PeakW, MeanW float64
+	// OverBudgetFrac is the fraction of ticks above the feeder budget
+	// (0 when no budget is configured).
+	OverBudgetFrac float64
+	// Safety rollups across racks.
+	CBTrips        int
+	OutageS        float64
+	DeadlineMisses int
+}
+
+// Run simulates every rack and aggregates the feeder draw.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cycle := 0.0
+	out := &Result{}
+	for i := 0; i < cfg.NumRacks; i++ {
+		scn := cfg.Scenario
+		scn.Interactive.Seed += int64(i)
+		scn.Rack.Seed += int64(i)
+
+		pcfg := cfg.SprintCon
+		acfg := alloc.DefaultConfig(scn.Breaker.RatedPower, scn.Breaker.TripBudget())
+		if pcfg.AllocOverride != nil {
+			acfg = *pcfg.AllocOverride
+		}
+		if cfg.Stagger {
+			cycle = acfg.OverloadS + acfg.RecoveryS
+			acfg.PhaseOffsetS = float64(i) * cycle / float64(cfg.NumRacks)
+		}
+		pcfg.AllocOverride = &acfg
+
+		res, err := sim.Run(scn, core.New(pcfg))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: rack %d: %w", i, err)
+		}
+		out.Racks = append(out.Racks, res)
+		out.CBTrips += res.CBTrips
+		out.OutageS += res.OutageS
+		out.DeadlineMisses += res.DeadlineMisses
+
+		if out.AggregateW == nil {
+			out.AggregateW = make([]float64, len(res.Series.CBW))
+		}
+		if len(res.Series.CBW) != len(out.AggregateW) {
+			return nil, fmt.Errorf("cluster: rack %d series length mismatch", i)
+		}
+		for t, w := range res.Series.CBW {
+			out.AggregateW[t] += w
+		}
+	}
+	out.PeakW = stats.Max(out.AggregateW)
+	out.MeanW = stats.Mean(out.AggregateW)
+	if cfg.FeederBudgetW > 0 {
+		out.OverBudgetFrac = stats.FracAbove(out.AggregateW, cfg.FeederBudgetW)
+	}
+	return out, nil
+}

@@ -1,0 +1,276 @@
+// Package control implements SprintCon's two feedback controllers
+// (paper Sections IV-C and V) plus a classic PI controller used as an
+// ablation baseline:
+//
+//   - MPC: the model-predictive server power controller that tracks the
+//     batch power budget P_batch by manipulating per-core DVFS frequencies,
+//     minimizing the paper's Eq. (8) cost subject to the Eq. (9) frequency
+//     bounds.
+//   - UPSController: the UPS power controller that keeps the circuit
+//     breaker's delivered power at P_cb by setting the battery discharge to
+//     cover the excess (feedforward plus integral trim).
+//   - PI: a single-loop proportional-integral power controller, retained to
+//     quantify what MPC buys (ablation A1 in DESIGN.md).
+package control
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sprintcon/internal/mathx"
+	"sprintcon/internal/qp"
+)
+
+// MPCConfig parameterizes the server power controller.
+type MPCConfig struct {
+	// PredictionHorizon is L_p of Eq. (8); ControlHorizon is L_c.
+	PredictionHorizon int
+	ControlHorizon    int
+	// PeriodS is the control period T in seconds.
+	PeriodS float64
+	// RefTimeConstS is τ_r of the Eq. (7) reference trajectory: larger
+	// values trade convergence speed for smaller overshoot (Section V-B).
+	RefTimeConstS float64
+	// QWeight is the tracking-error weight Q (uniform over the horizon).
+	QWeight float64
+	// RScale converts the dimensionless per-core R weights into the cost
+	// function's units, balancing watts² of tracking error against GHz²
+	// of control penalty.
+	RScale float64
+	// KWPerGHz is the design-model slope per batch core (paper Eq. 1–4):
+	// the predicted change in batch power per GHz of that core.
+	KWPerGHz []float64
+	// FMinGHz and FMaxGHz bound every core's frequency (Eq. 9).
+	FMinGHz, FMaxGHz float64
+	// FullHorizon replaces the paper's prediction simplification
+	// ("the same operation will continue") with a true receding-horizon
+	// optimization over ControlHorizon *distinct* moves. The cumulative
+	// moves z_h = Σ_{i≤h} Δ_i substitute as decision variables, so the
+	// Eq. (9) bounds stay simple boxes and the same QP solver applies;
+	// only the first move is actuated.
+	FullHorizon bool
+}
+
+// DefaultMPCConfig returns the tuning used throughout the evaluation for a
+// rack with the given per-core model slopes. With the paper's constant-move
+// prediction simplification, the closed loop closes roughly
+// Σh·e_h/Σh² ≈ 40 % of the power gap per period, settling well within the
+// allocator's 30 s period at the 4 s control period.
+func DefaultMPCConfig(kWPerGHz []float64) MPCConfig {
+	return MPCConfig{
+		PredictionHorizon: 4,
+		ControlHorizon:    2,
+		PeriodS:           4,
+		RefTimeConstS:     2,
+		QWeight:           1,
+		RScale:            40,
+		KWPerGHz:          kWPerGHz,
+		FMinGHz:           0.4,
+		FMaxGHz:           2.0,
+	}
+}
+
+// Validate reports structural errors in the configuration.
+func (c MPCConfig) Validate() error {
+	switch {
+	case c.PredictionHorizon <= 0:
+		return errors.New("control: PredictionHorizon must be positive")
+	case c.ControlHorizon <= 0 || c.ControlHorizon > c.PredictionHorizon:
+		return errors.New("control: need 0 < ControlHorizon ≤ PredictionHorizon")
+	case c.PeriodS <= 0:
+		return errors.New("control: PeriodS must be positive")
+	case c.RefTimeConstS <= 0:
+		return errors.New("control: RefTimeConstS must be positive")
+	case c.QWeight <= 0:
+		return errors.New("control: QWeight must be positive")
+	case c.RScale <= 0:
+		return errors.New("control: RScale must be positive")
+	case len(c.KWPerGHz) == 0:
+		return errors.New("control: KWPerGHz must not be empty")
+	case c.FMinGHz <= 0 || c.FMaxGHz <= c.FMinGHz:
+		return errors.New("control: need 0 < FMin < FMax")
+	}
+	for i, k := range c.KWPerGHz {
+		if k <= 0 {
+			return fmt.Errorf("control: KWPerGHz[%d] = %g must be positive", i, k)
+		}
+	}
+	return nil
+}
+
+// MPC is the model-predictive server power controller. It is stateless
+// between periods apart from its configuration: following the paper's
+// formulation, each period solves a fresh constrained optimization from the
+// latest feedback measurement (the receding-horizon principle).
+type MPC struct {
+	cfg MPCConfig
+}
+
+// NewMPC returns a controller or an error for invalid configuration.
+func NewMPC(cfg MPCConfig) (*MPC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &MPC{cfg: cfg}, nil
+}
+
+// Config returns the controller configuration.
+func (m *MPC) Config() MPCConfig { return m.cfg }
+
+// Step computes the next per-core frequencies.
+//
+//	pfbW      — Eq. (6) feedback estimate of current batch power
+//	pTargetW  — the power budget P_batch from the load allocator
+//	freqs     — current frequency of every batch core (GHz)
+//	rweights  — per-core urgency weights R_{i,j} (Section V-B); larger
+//	            weight pulls that core harder toward peak frequency
+//
+// Following the paper's prediction simplification ("assuming the same
+// operation will continue in the following L_p control periods"), the move
+// Δf is constant over the horizon, so Eq. (8) collapses to a box-constrained
+// QP in Δf, solved exactly.
+func (m *MPC) Step(pfbW, pTargetW float64, freqs, rweights []float64) ([]float64, error) {
+	n := len(m.cfg.KWPerGHz)
+	if len(freqs) != n || len(rweights) != n {
+		return nil, fmt.Errorf("control: Step got %d freqs and %d weights for %d cores", len(freqs), len(rweights), n)
+	}
+	if m.cfg.FullHorizon {
+		return m.stepFullHorizon(pfbW, pTargetW, freqs, rweights)
+	}
+	k := mathx.Vector(m.cfg.KWPerGHz)
+
+	// H = Σ_{h=1..Lp} Q·h²·kkᵀ + Σ_{m=1..Lc} m²·diag(R·RScale)
+	// g = −Σ_{h=1..Lp} Q·h·e_h·k + Σ_{m=1..Lc} m·diag(R·RScale)·d
+	// where e_h = p_r(t+h) − p_fb = (P_batch − p_fb)(1 − exp(−h·T/τ_r))
+	// (Eq. 7) and d = F − F_max (how far below peak each core sits).
+	h := mathx.NewMatrix(n, n)
+	g := mathx.NewVector(n)
+	var sumH2 float64
+	gap := pTargetW - pfbW
+	for step := 1; step <= m.cfg.PredictionHorizon; step++ {
+		hf := float64(step)
+		sumH2 += hf * hf
+		eh := gap * (1 - math.Exp(-hf*m.cfg.PeriodS/m.cfg.RefTimeConstS))
+		g.AXPY(-m.cfg.QWeight*hf*eh, k)
+	}
+	h.OuterAdd(m.cfg.QWeight*sumH2, k, k)
+
+	var sumM, sumM2 float64
+	for mv := 1; mv <= m.cfg.ControlHorizon; mv++ {
+		sumM += float64(mv)
+		sumM2 += float64(mv) * float64(mv)
+	}
+	for i := 0; i < n; i++ {
+		r := m.cfg.RScale * math.Max(rweights[i], 1e-6)
+		h.Inc(i, i, sumM2*r)
+		g[i] += sumM * r * (freqs[i] - m.cfg.FMaxGHz)
+	}
+
+	lo := mathx.NewVector(n)
+	hi := mathx.NewVector(n)
+	for i := 0; i < n; i++ {
+		lo[i] = m.cfg.FMinGHz - freqs[i]
+		hi[i] = m.cfg.FMaxGHz - freqs[i]
+	}
+
+	res, err := qp.Solve(qp.Problem{H: h, G: g, Lo: lo, Hi: hi}, qp.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("control: MPC QP: %w", err)
+	}
+	next := make([]float64, n)
+	for i := 0; i < n; i++ {
+		next[i] = freqs[i] + res.X[i]
+		// Guard against accumulation error; the QP bounds already
+		// enforce this up to tolerance.
+		if next[i] < m.cfg.FMinGHz {
+			next[i] = m.cfg.FMinGHz
+		} else if next[i] > m.cfg.FMaxGHz {
+			next[i] = m.cfg.FMaxGHz
+		}
+	}
+	return next, nil
+}
+
+// stepFullHorizon solves the receding-horizon problem with ControlHorizon
+// distinct moves. Decision variables are the cumulative moves
+// z_h ∈ Rⁿ (h = 1..L_c); the predicted power at horizon step h is
+// p_fb + K·z_{min(h,L_c)} and the Eq. (9) bounds apply to F + z_h.
+func (m *MPC) stepFullHorizon(pfbW, pTargetW float64, freqs, rweights []float64) ([]float64, error) {
+	n := len(m.cfg.KWPerGHz)
+	lc := m.cfg.ControlHorizon
+	nv := n * lc
+	k := mathx.Vector(m.cfg.KWPerGHz)
+	gap := pTargetW - pfbW
+
+	h := mathx.NewMatrix(nv, nv)
+	g := mathx.NewVector(nv)
+
+	// Tracking term: for each prediction step hp, the active block is
+	// m(hp) = min(hp, Lc); accumulate Q·kkᵀ and −Q·e_hp·k there.
+	blockQ := make([]float64, lc+1) // Σ Q over steps mapped to block
+	blockE := make([]float64, lc+1) // Σ Q·e_hp over steps mapped to block
+	for hp := 1; hp <= m.cfg.PredictionHorizon; hp++ {
+		blk := hp
+		if blk > lc {
+			blk = lc
+		}
+		e := gap * (1 - math.Exp(-float64(hp)*m.cfg.PeriodS/m.cfg.RefTimeConstS))
+		blockQ[blk] += m.cfg.QWeight
+		blockE[blk] += m.cfg.QWeight * e
+	}
+	for blk := 1; blk <= lc; blk++ {
+		off := (blk - 1) * n
+		for i := 0; i < n; i++ {
+			gi := -blockE[blk] * k[i]
+			g[off+i] += gi
+			for j := 0; j < n; j++ {
+				h.Inc(off+i, off+j, blockQ[blk]*k[i]*k[j])
+			}
+		}
+	}
+
+	// Control penalty: Σ_{h=1..Lc} ||F + z_h − F_max||²_R.
+	for blk := 1; blk <= lc; blk++ {
+		off := (blk - 1) * n
+		for i := 0; i < n; i++ {
+			r := m.cfg.RScale * math.Max(rweights[i], 1e-6)
+			h.Inc(off+i, off+i, r)
+			g[off+i] += r * (freqs[i] - m.cfg.FMaxGHz)
+		}
+	}
+
+	lo := mathx.NewVector(nv)
+	hi := mathx.NewVector(nv)
+	for blk := 0; blk < lc; blk++ {
+		for i := 0; i < n; i++ {
+			lo[blk*n+i] = m.cfg.FMinGHz - freqs[i]
+			hi[blk*n+i] = m.cfg.FMaxGHz - freqs[i]
+		}
+	}
+
+	res, err := qp.Solve(qp.Problem{H: h, G: g, Lo: lo, Hi: hi}, qp.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("control: full-horizon MPC QP: %w", err)
+	}
+	next := make([]float64, n)
+	for i := 0; i < n; i++ {
+		next[i] = freqs[i] + res.X[i] // first cumulative move z_1
+		if next[i] < m.cfg.FMinGHz {
+			next[i] = m.cfg.FMinGHz
+		} else if next[i] > m.cfg.FMaxGHz {
+			next[i] = m.cfg.FMaxGHz
+		}
+	}
+	return next, nil
+}
+
+// PredictPower returns the design model's one-step power prediction for a
+// frequency move, used by tests and the allocator's what-if analysis.
+func (m *MPC) PredictPower(pfbW float64, dFreqs []float64) float64 {
+	p := pfbW
+	for i, k := range m.cfg.KWPerGHz {
+		p += k * dFreqs[i]
+	}
+	return p
+}

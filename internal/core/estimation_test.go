@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"sprintcon/internal/sim"
+)
+
+// Online model estimation (extension, paper [27]): with a badly
+// miscalibrated initial power model, the RLS-adapted controller must
+// recover the true slope and out-track the static one.
+
+func TestOnlineEstimationRecoversFromSteepModel(t *testing.T) {
+	scn := sim.DefaultScenario()
+
+	// Model believes each core costs 3× the true watts per GHz: the MPC
+	// takes timid steps and tracks sluggishly.
+	static := DefaultConfig()
+	static.InitialKScale = 3
+	pStatic := New(static)
+	resStatic, err := sim.Run(scn, pStatic)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	adaptive := static
+	adaptive.OnlineEstimation = true
+	pAdaptive := New(adaptive)
+	resAdaptive, err := sim.Run(scn, pAdaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The estimator must have pulled the slope well below the bad
+	// initial ≈29 W/GHz. It converges to the plant's *local* slope at
+	// the operating point (≈14–19 at high frequency, above the global
+	// secant 9.6) — which is exactly the right gain for local MPC moves.
+	if k := pAdaptive.ModelK(); k > 26 {
+		t.Fatalf("adapted K = %v, want pulled well below the initial ≈29", k)
+	}
+	if k := pStatic.ModelK(); k < 25 {
+		t.Fatalf("static K = %v, should stay at the bad initial value", k)
+	}
+	// Both remain safe; the adaptive one wastes less of its deadlines.
+	for _, r := range []*sim.Result{resStatic, resAdaptive} {
+		if r.CBTrips != 0 || r.OutageS != 0 {
+			t.Fatalf("safety violated: trips=%d outage=%v", r.CBTrips, r.OutageS)
+		}
+	}
+	if resAdaptive.DeadlineMisses > resStatic.DeadlineMisses {
+		t.Fatalf("adaptive misses %d > static %d", resAdaptive.DeadlineMisses, resStatic.DeadlineMisses)
+	}
+}
+
+func TestOnlineEstimationStableWhenCalibrated(t *testing.T) {
+	// With a correct initial model, adaptation must not destabilize
+	// anything: same safety, deadlines still met, slope stays plausible.
+	scn := sim.DefaultScenario()
+	cfg := DefaultConfig()
+	cfg.OnlineEstimation = true
+	p := New(cfg)
+	res, err := sim.Run(scn, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CBTrips != 0 || res.OutageS != 0 || res.DeadlineMisses != 0 {
+		t.Fatalf("calibrated+adaptive run degraded: trips=%d outage=%v misses=%d",
+			res.CBTrips, res.OutageS, res.DeadlineMisses)
+	}
+	if k := p.ModelK(); k < 3 || k > 30 {
+		t.Fatalf("adapted K = %v wandered out of the plausible range", k)
+	}
+}
+
+func TestShallowModelSafeToo(t *testing.T) {
+	// Model believes cores are 3× cheaper than they are: the MPC
+	// over-steps. The QP's box constraints and the reference trajectory
+	// must keep this safe even without adaptation.
+	scn := sim.DefaultScenario()
+	cfg := DefaultConfig()
+	cfg.InitialKScale = 0.34
+	res, err := sim.Run(scn, New(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CBTrips != 0 || res.OutageS != 0 {
+		t.Fatalf("shallow model unsafe: trips=%d outage=%v", res.CBTrips, res.OutageS)
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"sprintcon/internal/alloc"
+	"sprintcon/internal/sim"
+	"sprintcon/internal/workload"
+)
+
+// Robustness and failure-injection tests: the paper's central argument for
+// feedback control is tolerance of the factors "difficult to be accurately
+// modeled" (Section V-A). Each test perturbs one assumption and requires
+// the safety invariants to survive.
+
+func safetyInvariants(t *testing.T, res *sim.Result, label string) {
+	t.Helper()
+	if res.CBTrips != 0 {
+		t.Fatalf("%s: breaker tripped %d times", label, res.CBTrips)
+	}
+	if res.OutageS != 0 {
+		t.Fatalf("%s: outage of %v s", label, res.OutageS)
+	}
+	if res.AvgFreqInter < 0.99 {
+		t.Fatalf("%s: interactive frequency degraded to %v", label, res.AvgFreqInter)
+	}
+}
+
+func TestRobustToHeavyMonitorNoise(t *testing.T) {
+	scn := sim.DefaultScenario()
+	scn.Rack.MonitorNoiseStd = 0.02 // 5× the default monitor error
+	res := run(t, DefaultConfig(), scn)
+	safetyInvariants(t, res, "noisy monitor")
+	if res.DeadlineMisses != 0 {
+		t.Fatalf("noisy monitor: %d deadline misses", res.DeadlineMisses)
+	}
+}
+
+func TestRobustToHotAmbient(t *testing.T) {
+	scn := sim.DefaultScenario()
+	scn.AmbientBaseC = 35 // cooling failure raises the fan disturbance
+	scn.AmbientSwingC = 5
+	res := run(t, DefaultConfig(), scn)
+	safetyInvariants(t, res, "hot ambient")
+}
+
+func TestRobustToStrongerFanDisturbance(t *testing.T) {
+	scn := sim.DefaultScenario()
+	scn.Rack.ServerParams.FanW = 18 // 3× the unmodeled fan power
+	res := run(t, DefaultConfig(), scn)
+	safetyInvariants(t, res, "strong fan")
+}
+
+func TestRobustToBreakerWeakerThanBelieved(t *testing.T) {
+	// The allocator is configured for the nominal breaker, but the real
+	// breaker is 10 % weaker (less trip budget). The near-trip guard
+	// must stop overloading before damage.
+	scn := sim.DefaultScenario()
+	acfg := alloc.DefaultConfig(scn.Breaker.RatedPower, scn.Breaker.TripBudget())
+	scn.Breaker.RefTripTime = 135 // real budget below the allocator's belief
+	cfg := DefaultConfig()
+	cfg.AllocOverride = &acfg
+	res := run(t, cfg, scn)
+	if res.CBTrips != 0 {
+		t.Fatalf("weak breaker tripped %d times despite the near-trip guard", res.CBTrips)
+	}
+}
+
+func TestRobustToUtilizationJitter(t *testing.T) {
+	scn := sim.DefaultScenario()
+	scn.Rack.UtilJitterStd = 0.10 // noisy per-core utilization monitors
+	res := run(t, DefaultConfig(), scn)
+	safetyInvariants(t, res, "util jitter")
+}
+
+func TestRobustToMemoryBoundOnlyBatchMix(t *testing.T) {
+	// Every job strongly memory bound: the progress model's frequency
+	// leverage is weak, so the deadline floor must push frequencies high.
+	scn := sim.DefaultScenario()
+	res1 := run(t, DefaultConfig(), scn) // baseline for comparison
+	_ = res1
+	// Rebuild with a custom env is not exposed; instead tighten fills so
+	// the memory-bound jobs in the default mix dominate the floor.
+	scn.WorkFillMin, scn.WorkFillMax = 0.50, 0.60
+	scn.BatchDeadlineS = 600
+	res := run(t, DefaultConfig(), scn)
+	if res.DeadlineMisses != 0 {
+		t.Fatalf("tight memory-bound mix: %d misses", res.DeadlineMisses)
+	}
+	safetyInvariants(t, res, "tight mix")
+}
+
+func TestRobustToLateBurstTrace(t *testing.T) {
+	// A trace replayed from CSV whose burst lands mid-sprint.
+	cfg := workload.DefaultInteractiveConfig()
+	cfg.BurstStartS = 400
+	cfg.BurstEndS = 700
+	cfg.BurstPeak = 0.9
+	tr, err := workload.GenInteractive(cfg, 900, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scn := sim.DefaultScenario()
+	scn.Trace = tr
+	res := run(t, DefaultConfig(), scn)
+	safetyInvariants(t, res, "late burst")
+	if res.DeadlineMisses != 0 {
+		t.Fatalf("late burst: %d misses", res.DeadlineMisses)
+	}
+}
+
+func TestRobustToSmallRack(t *testing.T) {
+	// A 4-server rack with a proportionally sized breaker and UPS: the
+	// controllers must not be tuned to the 16-server scale.
+	scn := sim.DefaultScenario()
+	scn.Rack.NumServers = 4
+	scn.Breaker.RatedPower = 800 // 2/3 of the 1.2 kW maximum
+	scn.UPS.CapacityWh = 100
+	scn.UPS.MaxDischargeW = 1200
+	res := run(t, DefaultConfig(), scn)
+	safetyInvariants(t, res, "small rack")
+	if res.DeadlineMisses != 0 {
+		t.Fatalf("small rack: %d misses", res.DeadlineMisses)
+	}
+}
+
+func TestRobustToLeadAcidBattery(t *testing.T) {
+	// A lead-acid-flavored UPS: steep Peukert effect means high-rate
+	// discharges cost far more stored energy. SprintCon's shallow,
+	// recovery-phase-only discharges must stay safe regardless.
+	scn := sim.DefaultScenario()
+	scn.UPS.PeukertExponent = 1.25
+	scn.UPS.PeukertRefW = 800
+	res := run(t, DefaultConfig(), scn)
+	safetyInvariants(t, res, "lead-acid UPS")
+	if res.DeadlineMisses != 0 {
+		t.Fatalf("lead-acid UPS: %d misses", res.DeadlineMisses)
+	}
+	// The Peukert tax shows up as extra drawn energy versus the default.
+	base := run(t, DefaultConfig(), sim.DefaultScenario())
+	if res.UPSDischargedWh <= base.UPSDischargedWh {
+		t.Fatalf("Peukert draw %v should exceed ideal %v", res.UPSDischargedWh, base.UPSDischargedWh)
+	}
+}
+
+func TestRobustToThresholdAllocatorMode(t *testing.T) {
+	// The paper's literal ±step headroom rule (ablation mode) must also
+	// complete a sprint safely, if less efficiently.
+	scn := sim.DefaultScenario()
+	acfg := alloc.DefaultConfig(scn.Breaker.RatedPower, scn.Breaker.TripBudget())
+	acfg.Mode = alloc.AdaptThreshold
+	cfg := DefaultConfig()
+	cfg.AllocOverride = &acfg
+	res := run(t, cfg, scn)
+	safetyInvariants(t, res, "threshold mode")
+	if res.DeadlineMisses != 0 {
+		t.Fatalf("threshold mode: %d misses", res.DeadlineMisses)
+	}
+}

@@ -1,0 +1,115 @@
+// Package daily extends the paper's Section VII-D economics from one
+// sprint to an operating regime: the paper argues costs from "the
+// 15-minute sprinting process conducted 10 times per day" — this package
+// makes that calculation executable. It runs one sprint under a policy,
+// then extrapolates battery wear (LFP cycle life at the observed depth of
+// discharge), recharge feasibility between sprints, energy cost, and
+// battery replacement cost over a provisioning horizon.
+package daily
+
+import (
+	"errors"
+	"fmt"
+
+	"sprintcon/internal/sim"
+	"sprintcon/internal/ups"
+)
+
+// Plan describes the operating regime to evaluate.
+type Plan struct {
+	// SprintsPerDay is the sprint frequency (paper: 10).
+	SprintsPerDay int
+	// Scenario is the per-sprint scenario.
+	Scenario sim.Scenario
+	// RechargeW is the charger power available between sprints.
+	RechargeW float64
+	// ElectricityUSDPerKWh prices the energy drawn during sprints.
+	ElectricityUSDPerKWh float64
+	// BatteryPackUSD is the replacement cost of the UPS battery string.
+	BatteryPackUSD float64
+	// HorizonYears is the provisioning horizon (paper: 10 years, the
+	// LFP chemical life).
+	HorizonYears float64
+}
+
+// DefaultPlan returns the paper's regime: 10 sprints of 15 minutes per day
+// over a 10-year horizon, with list-price-flavored cost constants.
+func DefaultPlan() Plan {
+	return Plan{
+		SprintsPerDay:        10,
+		Scenario:             sim.DefaultScenario(),
+		RechargeW:            2000,
+		ElectricityUSDPerKWh: 0.12,
+		BatteryPackUSD:       1200, // 400 Wh LFP string with BMS
+		HorizonYears:         10,
+	}
+}
+
+// Validate reports structural errors in the plan.
+func (p Plan) Validate() error {
+	switch {
+	case p.SprintsPerDay <= 0:
+		return errors.New("daily: SprintsPerDay must be positive")
+	case p.RechargeW <= 0:
+		return errors.New("daily: RechargeW must be positive")
+	case p.ElectricityUSDPerKWh < 0 || p.BatteryPackUSD < 0:
+		return errors.New("daily: costs must be non-negative")
+	case p.HorizonYears <= 0:
+		return errors.New("daily: HorizonYears must be positive")
+	case float64(p.SprintsPerDay)*p.Scenario.DurationS > 24*3600:
+		return errors.New("daily: sprints do not fit in a day")
+	}
+	return p.Scenario.Validate()
+}
+
+// Outcome is the extrapolated result of running the plan under one policy.
+type Outcome struct {
+	Policy string
+	Sprint *sim.Result // the underlying single-sprint result
+
+	// Battery wear.
+	DoD              float64
+	CycleLifeCycles  float64
+	BatteryLifeYears float64
+	Replacements     int // replacements needed within the horizon
+
+	// Recharge feasibility between sprints.
+	GapS             float64 // idle time between sprint windows
+	RechargeNeededS  float64 // time to restore the discharged energy
+	RechargeFeasible bool
+
+	// Costs.
+	SprintEnergyKWhPerDay float64
+	EnergyUSDPerYear      float64
+	BatteryUSDPerHorizon  float64 // initial pack + replacements
+	TotalUSDPerHorizon    float64
+}
+
+// Evaluate runs one sprint under the policy and extrapolates the plan.
+func Evaluate(plan Plan, policy sim.Policy) (*Outcome, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(plan.Scenario, policy)
+	if err != nil {
+		return nil, fmt.Errorf("daily: %w", err)
+	}
+
+	o := &Outcome{Policy: res.Policy, Sprint: res}
+	o.DoD = res.UPSDoD
+	o.CycleLifeCycles = ups.CycleLife(o.DoD)
+	o.BatteryLifeYears = ups.LifetimeYears(o.DoD, float64(plan.SprintsPerDay))
+	o.Replacements = ups.ReplacementsOver(plan.HorizonYears, o.DoD, float64(plan.SprintsPerDay))
+
+	o.GapS = 24*3600/float64(plan.SprintsPerDay) - plan.Scenario.DurationS
+	// Restoring the cells needs the discharged energy back through the
+	// charger (charging losses folded into RechargeW).
+	o.RechargeNeededS = res.UPSDischargedWh / plan.RechargeW * 3600
+	o.RechargeFeasible = o.RechargeNeededS <= o.GapS
+
+	o.SprintEnergyKWhPerDay = res.EnergyTotalWh * float64(plan.SprintsPerDay) / 1000
+	o.EnergyUSDPerYear = o.SprintEnergyKWhPerDay * plan.ElectricityUSDPerKWh * 365
+	o.BatteryUSDPerHorizon = plan.BatteryPackUSD * float64(1+o.Replacements)
+	o.TotalUSDPerHorizon = o.EnergyUSDPerYear*plan.HorizonYears + o.BatteryUSDPerHorizon
+	return o, nil
+}

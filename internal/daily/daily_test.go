@@ -1,0 +1,155 @@
+package daily
+
+import (
+	"testing"
+
+	"sprintcon/internal/baseline"
+	"sprintcon/internal/core"
+	"sprintcon/internal/sim"
+)
+
+func TestPlanValidate(t *testing.T) {
+	if err := DefaultPlan().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Plan)
+	}{
+		{"zero sprints", func(p *Plan) { p.SprintsPerDay = 0 }},
+		{"zero recharge", func(p *Plan) { p.RechargeW = 0 }},
+		{"negative cost", func(p *Plan) { p.BatteryPackUSD = -1 }},
+		{"zero horizon", func(p *Plan) { p.HorizonYears = 0 }},
+		{"too many sprints", func(p *Plan) { p.SprintsPerDay = 1000 }},
+		{"bad scenario", func(p *Plan) { p.Scenario.DurationS = 0 }},
+	}
+	for _, tc := range cases {
+		plan := DefaultPlan()
+		tc.mutate(&plan)
+		if err := plan.Validate(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+// The paper's Section VII-D argument, end to end: at 10 sprints/day
+// SprintCon's pack survives the full horizon while the baselines replace
+// packs multiple times.
+func TestPaperBatteryEconomics(t *testing.T) {
+	plan := DefaultPlan()
+
+	sc, err := Evaluate(plan, core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Replacements != 0 {
+		t.Fatalf("SprintCon replacements = %d, want 0 (chemical-life limited)", sc.Replacements)
+	}
+	if sc.BatteryLifeYears < plan.HorizonYears {
+		t.Fatalf("SprintCon battery life %v years", sc.BatteryLifeYears)
+	}
+	if !sc.RechargeFeasible {
+		t.Fatalf("SprintCon recharge infeasible: needs %v s of %v s gap", sc.RechargeNeededS, sc.GapS)
+	}
+
+	v1, err := Evaluate(plan, baseline.New(baseline.SGCTV1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Replacements < 3 {
+		t.Fatalf("V1 replacements = %d, want ≥3 (paper: 3-4 over 10 years)", v1.Replacements)
+	}
+	if v1.TotalUSDPerHorizon <= sc.TotalUSDPerHorizon {
+		t.Fatalf("V1 total cost %v should exceed SprintCon's %v", v1.TotalUSDPerHorizon, sc.TotalUSDPerHorizon)
+	}
+
+	sgct, err := Evaluate(plan, baseline.New(baseline.SGCT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sgct.BatteryLifeYears >= v1.BatteryLifeYears {
+		t.Fatalf("full-drain SGCT battery life %v should be worst", sgct.BatteryLifeYears)
+	}
+	// Full 400 Wh drains at 2 kW take 12 minutes — feasible in the
+	// 128.5-minute gap, but far more charger time than SprintCon needs.
+	if sgct.RechargeNeededS <= sc.RechargeNeededS {
+		t.Fatal("SGCT should need more recharge time than SprintCon")
+	}
+}
+
+func TestRechargeInfeasibility(t *testing.T) {
+	plan := DefaultPlan()
+	plan.RechargeW = 20 // a trickle charger cannot keep up with SGCT
+	out, err := Evaluate(plan, baseline.New(baseline.SGCT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RechargeFeasible {
+		t.Fatal("full drain against a trickle charger should be infeasible")
+	}
+}
+
+// Simulating the actual day must agree with Evaluate's extrapolation for
+// SprintCon: every sprint starts on a full battery and stays safe.
+func TestSimulateDaySprintCon(t *testing.T) {
+	plan := DefaultPlan()
+	day, err := SimulateDay(plan, func() sim.Policy { return core.New(core.DefaultConfig()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(day.Sprints) != plan.SprintsPerDay {
+		t.Fatalf("sprints = %d", len(day.Sprints))
+	}
+	if !day.FullyRecharged {
+		t.Fatalf("min start SoC %v: the charger should keep up with SprintCon", day.MinStartSoC)
+	}
+	if day.TotalTrips != 0 || day.TotalOutageS != 0 || day.TotalMisses != 0 {
+		t.Fatalf("day degraded: trips=%d outage=%v misses=%d",
+			day.TotalTrips, day.TotalOutageS, day.TotalMisses)
+	}
+}
+
+// With a trickle charger, SGCT's full drains compound across the day:
+// later sprints start on a partially charged battery.
+func TestSimulateDayTrickleChargerCompounds(t *testing.T) {
+	plan := DefaultPlan()
+	plan.SprintsPerDay = 4 // keep the test quick
+	plan.RechargeW = 30
+	day, err := SimulateDay(plan, func() sim.Policy { return baseline.New(baseline.SGCT) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if day.FullyRecharged {
+		t.Fatal("a 30 W charger cannot refill 400 Wh between sprints")
+	}
+	if day.StartSoCs[1] >= 0.99 {
+		t.Fatalf("second sprint started at SoC %v, want partial", day.StartSoCs[1])
+	}
+	if day.TotalOutageS == 0 {
+		t.Fatal("SGCT's day should include outages")
+	}
+}
+
+func TestEvaluateRejectsBadPlan(t *testing.T) {
+	plan := DefaultPlan()
+	plan.SprintsPerDay = 0
+	if _, err := Evaluate(plan, core.New(core.DefaultConfig())); err == nil {
+		t.Fatal("invalid plan should error")
+	}
+}
+
+func TestCostScalesWithEnergyPrice(t *testing.T) {
+	plan := DefaultPlan()
+	cheap, err := Evaluate(plan, core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.ElectricityUSDPerKWh *= 2
+	dear, err := Evaluate(plan, core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dear.EnergyUSDPerYear <= cheap.EnergyUSDPerYear {
+		t.Fatal("energy cost should scale with price")
+	}
+}

@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sprintcon/internal/alloc"
+	"sprintcon/internal/control"
+	"sprintcon/internal/core"
+	"sprintcon/internal/sim"
+	"sprintcon/internal/stats"
+)
+
+// AblationController (A1) compares the MPC server power controller against
+// the single-loop PI baseline, both on a step-response micro-benchmark and
+// in the full closed-loop sprint.
+func AblationController() (*Table, error) {
+	t := &Table{
+		ID:    "ablation-controller",
+		Title: "A1: MPC vs PI server power controller",
+		Columns: []string{"controller", "settle_periods", "overshoot_frac",
+			"track_rmse_w", "full_sim_misses", "full_sim_dod"},
+	}
+
+	// Step-response micro-benchmark on the linear design model.
+	step := func(mk func() func(pfb, target float64, freqs []float64) []float64) (int, float64, float64) {
+		n := 16
+		k := 9.6
+		freqs := make([]float64, n)
+		for i := range freqs {
+			freqs[i] = 0.4
+		}
+		c := 150.0
+		target := c + k*float64(n)*1.5
+		ctrl := mk()
+		var series []float64
+		for s := 0; s < 30; s++ {
+			p := c
+			for _, f := range freqs {
+				p += k * f
+			}
+			series = append(series, p)
+			freqs = ctrl(p, target, freqs)
+		}
+		settle := stats.SettlingTime(series, target, 0.02*target)
+		over := stats.Overshoot(series, series[0], target)
+		ref := make([]float64, len(series))
+		for i := range ref {
+			ref[i] = target
+		}
+		rmse, err := stats.RMSE(series[len(series)/2:], ref[len(ref)/2:])
+		if err != nil {
+			rmse = -1
+		}
+		return settle, over, rmse
+	}
+
+	kvec := make([]float64, 16)
+	for i := range kvec {
+		kvec[i] = 9.6
+	}
+	mpcSettle, mpcOver, mpcRMSE := step(func() func(float64, float64, []float64) []float64 {
+		m, err := control.NewMPC(control.DefaultMPCConfig(kvec))
+		if err != nil {
+			panic(err)
+		}
+		weights := make([]float64, 16)
+		for i := range weights {
+			weights[i] = 1
+		}
+		return func(pfb, target float64, freqs []float64) []float64 {
+			next, err := m.Step(pfb, target, freqs, weights)
+			if err != nil {
+				panic(err)
+			}
+			return next
+		}
+	})
+	piSettle, piOver, piRMSE := step(func() func(float64, float64, []float64) []float64 {
+		pi, err := control.NewPI(control.DefaultPIConfig(16, 9.6*16))
+		if err != nil {
+			panic(err)
+		}
+		return pi.Step
+	})
+
+	fullSettle, fullOver, fullRMSE := step(func() func(float64, float64, []float64) []float64 {
+		cfg := control.DefaultMPCConfig(kvec)
+		cfg.FullHorizon = true
+		m, err := control.NewMPC(cfg)
+		if err != nil {
+			panic(err)
+		}
+		weights := make([]float64, 16)
+		for i := range weights {
+			weights[i] = 1
+		}
+		return func(pfb, target float64, freqs []float64) []float64 {
+			next, err := m.Step(pfb, target, freqs, weights)
+			if err != nil {
+				panic(err)
+			}
+			return next
+		}
+	})
+
+	// Full closed-loop comparison.
+	mpcRes, err := sim.Run(sim.DefaultScenario(), core.New(core.DefaultConfig()))
+	if err != nil {
+		return nil, err
+	}
+	piCfg := core.DefaultConfig()
+	piCfg.Controller = core.ControllerPI
+	piRes, err := sim.Run(sim.DefaultScenario(), core.New(piCfg))
+	if err != nil {
+		return nil, err
+	}
+	fullCfg := core.DefaultConfig()
+	fullCfg.Controller = core.ControllerMPCFull
+	fullRes, err := sim.Run(sim.DefaultScenario(), core.New(fullCfg))
+	if err != nil {
+		return nil, err
+	}
+
+	t.AddRow("MPC (paper, constant-move)", mpcSettle, mpcOver, mpcRMSE, mpcRes.DeadlineMisses, mpcRes.UPSDoD)
+	t.AddRow("MPC (full horizon)", fullSettle, fullOver, fullRMSE, fullRes.DeadlineMisses, fullRes.UPSDoD)
+	t.AddRow("PI", piSettle, piOver, piRMSE, piRes.DeadlineMisses, piRes.UPSDoD)
+	t.Notes = append(t.Notes,
+		"design-choice check: MPC additionally provides per-core deadline weighting (R_{i,j}), which the PI structure cannot express",
+		"the full-horizon variant lifts the paper's constant-move prediction simplification; it settles at least as fast with no overshoot")
+	return t, nil
+}
+
+// AblationOverloadSchedule (A2) compares the paper's periodic CB overload
+// schedule against never overloading and against one long constant
+// low-degree overload, all under SprintCon.
+func AblationOverloadSchedule() (*Table, error) {
+	t := &Table{
+		ID:    "ablation-schedule",
+		Title: "A2: CB overload scheduling strategies",
+		Columns: []string{"schedule", "cb_trips", "dod", "avg_batch_freq",
+			"time_use", "cb_overload_energy_wh"},
+	}
+	scn := sim.DefaultScenario()
+	run := func(label string, mutate func(*alloc.Config)) error {
+		acfg := alloc.DefaultConfig(scn.Breaker.RatedPower, scn.Breaker.TripBudget())
+		if mutate != nil {
+			mutate(&acfg)
+		}
+		cfg := core.DefaultConfig()
+		cfg.AllocOverride = &acfg
+		res, err := sim.Run(scn, core.New(cfg))
+		if err != nil {
+			return fmt.Errorf("%s: %w", label, err)
+		}
+		t.AddRow(label, res.CBTrips, res.UPSDoD, res.AvgFreqBatch,
+			res.NormalizedTimeUse(), res.EnergyCBOverWh)
+		return nil
+	}
+	if err := run("periodic 1.25x150s/300s (paper)", nil); err != nil {
+		return nil, err
+	}
+	if err := run("no overload (degree→1)", func(c *alloc.Config) {
+		c.OverloadDegree = 1.0001
+	}); err != nil {
+		return nil, err
+	}
+	if err := run("constant safe degree for whole burst", func(c *alloc.Config) {
+		c.MidBurstS = 1000 // put the 900 s burst into the constant-overload regime
+	}); err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		"design-choice check: the periodic schedule extracts the most overload energy from the breaker without tripping",
+		"no-overload forgoes the CB bonus and must lean on the UPS (or slow batch work) instead")
+	return t, nil
+}
+
+// AblationUPSControl (A3) compares UPS discharge-control structures:
+// feedforward+trim (paper-faithful), feedforward only, and pure PI.
+func AblationUPSControl() (*Table, error) {
+	t := &Table{
+		ID:    "ablation-ups",
+		Title: "A3: UPS discharge controller structures",
+		Columns: []string{"controller", "cb_over_budget_frac", "cb_track_err_w",
+			"dod", "cb_trips"},
+	}
+	scn := sim.DefaultScenario()
+	run := func(label string, ucfg control.UPSControllerConfig) error {
+		cfg := core.DefaultConfig()
+		cfg.UPSCtl = ucfg
+		res, err := sim.Run(scn, core.New(cfg))
+		if err != nil {
+			return fmt.Errorf("%s: %w", label, err)
+		}
+		t.AddRow(label, res.CBOverBudgetFrac, res.CBTrackingErrorW, res.UPSDoD, res.CBTrips)
+		return nil
+	}
+	ff := control.DefaultUPSControllerConfig()
+	if err := run("feedforward+trim (paper)", ff); err != nil {
+		return nil, err
+	}
+	ffOnly := ff
+	ffOnly.TrimKi = 0
+	if err := run("feedforward only", ffOnly); err != nil {
+		return nil, err
+	}
+	pi := control.UPSControllerConfig{
+		PeriodS: 1, TrimKi: 0.4, TrimKp: 0.8, TrimLimitW: 2000,
+		Feedforward: false, TargetMarginW: 30,
+	}
+	if err := run("pure PI (no feedforward)", pi); err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		"design-choice check: without feedforward the controller chases interactive fluctuation and violates the CB budget more often")
+	return t, nil
+}
+
+// Sensitivity (A4) sweeps the server power controller's period and the
+// reference-trajectory time constant τ_r.
+func Sensitivity() (*Table, error) {
+	t := &Table{
+		ID:      "sensitivity",
+		Title:   "A4: control period and τ_r sensitivity",
+		Columns: []string{"period_s", "tau_r_s", "misses", "dod", "time_use", "cb_over_budget_frac"},
+	}
+	for _, period := range []float64{2, 4, 8} {
+		for _, tau := range []float64{1, 2, 8} {
+			cfg := core.DefaultConfig()
+			cfg.ControlPeriodS = period
+			cfg.RefTimeConstS = tau
+			res, err := sim.Run(sim.DefaultScenario(), core.New(cfg))
+			if err != nil {
+				return nil, fmt.Errorf("period %v tau %v: %w", period, tau, err)
+			}
+			t.AddRow(period, tau, res.DeadlineMisses, res.UPSDoD,
+				res.NormalizedTimeUse(), res.CBOverBudgetFrac)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"Section V-B: larger τ_r reduces overshoot but slows convergence; the allocator period must exceed the settling time")
+	return t, nil
+}
+
+// All returns every experiment table in DESIGN.md order.
+func All() ([]*Table, error) {
+	type ctor func() (*Table, error)
+	ctors := []ctor{
+		Fig1PerWattSpeedup,
+		Fig2TripCurve,
+		Fig3PeriodicSprint,
+		func() (*Table, error) { t, _, err := Fig5Uncontrolled(); return t, err },
+		func() (*Table, error) { t, _, err := Fig6PowerBehavior(); return t, err },
+		Fig7FrequencyBehavior,
+		Fig8aTimeUse,
+		Fig8bDoD,
+		Headline,
+		AblationController,
+		AblationOverloadSchedule,
+		AblationUPSControl,
+		Sensitivity,
+		QoSComparison,
+		DailyCost,
+		ClusterStagger,
+		AblationEstimation,
+		BatteryProvisioning,
+		BurstRegimes,
+		EnergyEfficiency,
+		SprintingBenefit,
+	}
+	var out []*Table
+	for _, c := range ctors {
+		t, err := c()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

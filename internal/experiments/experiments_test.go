@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func cell(t *testing.T, tbl *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tbl.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) %q not numeric: %v", row, col, tbl.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "demo", Columns: []string{"a", "bb"}}
+	tbl.AddRow(1.23456, "hello")
+	tbl.Notes = append(tbl.Notes, "a note")
+	s := tbl.String()
+	for _, want := range []string{"== x — demo ==", "1.235", "hello", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig1PerWattSpeedupDecreases(t *testing.T) {
+	tbl, err := Fig1PerWattSpeedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 3 || len(tbl.Columns) != 7 {
+		t.Fatalf("unexpected shape %dx%d", len(tbl.Rows), len(tbl.Columns))
+	}
+	// Paper Fig. 1: per-watt speedup at the top frequency is lower than
+	// at a mid frequency for every workload.
+	last := len(tbl.Rows) - 1
+	for col := 1; col < len(tbl.Columns); col++ {
+		mid := cell(t, tbl, 2, col) // 1.2 GHz
+		top := cell(t, tbl, last, col)
+		if top >= mid {
+			t.Errorf("col %s: per-watt speedup should fall from mid %v to top %v",
+				tbl.Columns[col], mid, top)
+		}
+	}
+}
+
+func TestFig2TripCurveDecreasing(t *testing.T) {
+	tbl, err := Fig2TripCurve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for i := range tbl.Rows {
+		v := cell(t, tbl, i, 1)
+		if v >= prev {
+			t.Fatalf("trip time not strictly decreasing at row %d", i)
+		}
+		prev = v
+	}
+}
+
+func TestFig3PeriodicSprintSustainable(t *testing.T) {
+	tbl, err := Fig3PeriodicSprint()
+	if err != nil {
+		t.Fatal(err) // the constructor itself fails on a trip
+	}
+	for i := range tbl.Rows {
+		if frac := cell(t, tbl, i, 2); frac >= 1 {
+			t.Fatalf("thermal fraction %v reached trip at row %d", frac, i)
+		}
+	}
+}
+
+func TestFig5UncontrolledFailureSequence(t *testing.T) {
+	tbl, res, err := Fig5Uncontrolled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CBTrips == 0 || res.OutageS == 0 {
+		t.Fatalf("Fig 5 needs a trip and an outage: trips=%d outage=%v", res.CBTrips, res.OutageS)
+	}
+	if len(tbl.Rows) < 5 {
+		t.Fatal("summary rows missing")
+	}
+	// First trip within the first overload window.
+	if v := cell(t, tbl, 0, 1); v > 160 {
+		t.Fatalf("first trip at %v s", v)
+	}
+	// UPS depleted mid-sprint, minutes 8-12 (paper: ~11).
+	if v := cell(t, tbl, 1, 1); v < 8 || v > 12 {
+		t.Fatalf("UPS depleted at %v min", v)
+	}
+}
+
+func TestFig6PowerBehaviorShapes(t *testing.T) {
+	tbl, all, err := Fig6PowerBehavior()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// SprintCon's total fluctuates more than the flat-budget baselines
+	// (paper: V1/V2 totals "nearly flat").
+	scStd := cell(t, tbl, 0, 4)
+	v1Std := cell(t, tbl, 1, 4)
+	if scStd <= v1Std {
+		t.Fatalf("SprintCon total std %v should exceed V1's %v", scStd, v1Std)
+	}
+	// SprintCon uses far less UPS energy.
+	scUPS := cell(t, tbl, 0, 3)
+	v1UPS := cell(t, tbl, 1, 3)
+	if scUPS >= v1UPS/2 {
+		t.Fatalf("SprintCon UPS use %v not well below V1's %v", scUPS, v1UPS)
+	}
+	if all["SprintCon"].CBTrips != 0 {
+		t.Fatal("SprintCon must not trip in Fig 6")
+	}
+}
+
+func TestFig7OrderingsMatchPaper(t *testing.T) {
+	tbl, err := Fig7FrequencyBehavior()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter := map[string]float64{}
+	batch := map[string]float64{}
+	for i, row := range tbl.Rows {
+		inter[row[0]] = cell(t, tbl, i, 1)
+		batch[row[0]] = cell(t, tbl, i, 2)
+	}
+	// Interactive: SprintCon ≥ V2 > V1 > SGCT (paper 1.00/0.94/0.84/0.64).
+	if !(inter["SprintCon"] >= inter["SGCT-V2"] &&
+		inter["SGCT-V2"] > inter["SGCT-V1"] &&
+		inter["SGCT-V1"] > inter["SGCT"]) {
+		t.Fatalf("interactive ordering wrong: %v", inter)
+	}
+	// Batch: V1 > V2 > SGCT > SprintCon (paper 0.91/0.84/0.71/0.59).
+	if !(batch["SGCT-V1"] > batch["SGCT-V2"] &&
+		batch["SGCT-V2"] > batch["SGCT"] &&
+		batch["SGCT"] > batch["SprintCon"]) {
+		t.Fatalf("batch ordering wrong: %v", batch)
+	}
+	if inter["SprintCon"] < 0.999 {
+		t.Fatalf("SprintCon interactive %v, want peak", inter["SprintCon"])
+	}
+}
+
+func TestFig8aAllMeetDeadlinesSprintConClosest(t *testing.T) {
+	tbl, err := Fig8aTimeUse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tbl.Rows {
+		sc := cell(t, tbl, i, 1)
+		v1 := cell(t, tbl, i, 2)
+		v2 := cell(t, tbl, i, 3)
+		misses := cell(t, tbl, i, 4)
+		if misses != 0 {
+			t.Fatalf("row %d: %v deadline misses", i, misses)
+		}
+		for _, v := range []float64{sc, v1, v2} {
+			if v > 1 {
+				t.Fatalf("row %d: time use %v exceeds deadline", i, v)
+			}
+		}
+		if !(sc > v1 && sc > v2) {
+			t.Fatalf("row %d: SprintCon %v should use the most of its deadline (V1 %v, V2 %v)", i, sc, v1, v2)
+		}
+	}
+}
+
+func TestFig8bDoDOrderingAndTrend(t *testing.T) {
+	tbl, err := Fig8bDoD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scPrev = math.Inf(1)
+	for i := range tbl.Rows {
+		sc := cell(t, tbl, i, 1)
+		sgct := cell(t, tbl, i, 2)
+		v1 := cell(t, tbl, i, 3)
+		v2 := cell(t, tbl, i, 4)
+		if !(sc < v1 && sc < v2 && v1 < sgct && v2 < sgct) {
+			t.Fatalf("row %d: DoD ordering wrong: sc=%v v1=%v v2=%v sgct=%v", i, sc, v1, v2, sgct)
+		}
+		if sgct < 0.95 {
+			t.Fatalf("SGCT DoD %v, want near-full", sgct)
+		}
+		if sc > scPrev {
+			t.Fatalf("SprintCon DoD should not grow with looser deadlines")
+		}
+		scPrev = sc
+	}
+}
+
+func TestHeadlineClaims(t *testing.T) {
+	tbl, err := Headline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range tbl.Rows {
+		gain := cell(t, tbl, i, 1)
+		sav := cell(t, tbl, i, 2)
+		if gain < 0 {
+			t.Fatalf("%s: negative capacity gain %v", row[0], gain)
+		}
+		if sav < 50 {
+			t.Fatalf("%s: storage savings %v%%, want substantial", row[0], sav)
+		}
+	}
+	// The paper's "up to 87 % less" lives in the SGCT comparison.
+	if sav := cell(t, tbl, 0, 2); sav < 80 {
+		t.Fatalf("savings vs SGCT = %v%%, want ≥80 (paper: up to 87)", sav)
+	}
+}
+
+func TestAblationControllerMPCNoWorse(t *testing.T) {
+	tbl, err := AblationController()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	mpcMisses := cell(t, tbl, 0, 4)
+	piMisses := cell(t, tbl, 2, 4)
+	if mpcMisses > piMisses {
+		t.Fatalf("MPC misses %v > PI misses %v", mpcMisses, piMisses)
+	}
+	mpcOver := cell(t, tbl, 0, 2)
+	if mpcOver > 0.05 {
+		t.Fatalf("MPC overshoot %v, want near-zero", mpcOver)
+	}
+	// The full-horizon variant settles at least as fast as the
+	// simplified one, with small overshoot.
+	simpleSettle := cell(t, tbl, 0, 1)
+	fullSettle := cell(t, tbl, 1, 1)
+	if fullSettle > simpleSettle {
+		t.Fatalf("full-horizon settles in %v > simplified %v", fullSettle, simpleSettle)
+	}
+	if over := cell(t, tbl, 1, 2); over > 0.05 {
+		t.Fatalf("full-horizon overshoot %v", over)
+	}
+}
+
+func TestAblationOverloadSchedule(t *testing.T) {
+	tbl, err := AblationOverloadSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No schedule variant may trip.
+	for i, row := range tbl.Rows {
+		if trips := cell(t, tbl, i, 1); trips != 0 {
+			t.Fatalf("%s tripped", row[0])
+		}
+	}
+	// The periodic schedule extracts the most CB overload energy.
+	periodic := cell(t, tbl, 0, 5)
+	none := cell(t, tbl, 1, 5)
+	if periodic <= none {
+		t.Fatalf("periodic overload energy %v not above no-overload %v", periodic, none)
+	}
+}
+
+func TestAblationUPSControl(t *testing.T) {
+	tbl, err := AblationUPSControl()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for i, row := range tbl.Rows {
+		if trips := cell(t, tbl, i, 4); trips != 0 {
+			t.Fatalf("%s tripped the breaker", row[0])
+		}
+	}
+	// The paper-faithful structure violates the budget the least.
+	ff := cell(t, tbl, 0, 1)
+	pi := cell(t, tbl, 2, 1)
+	if ff > pi {
+		t.Fatalf("feedforward+trim over-budget %v worse than pure PI %v", ff, pi)
+	}
+}
+
+func TestSensitivitySweepRuns(t *testing.T) {
+	tbl, err := Sensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 9 {
+		t.Fatalf("rows = %d, want 3x3 sweep", len(tbl.Rows))
+	}
+	// The default tuning (period 4, τ 2) meets all deadlines.
+	for i := range tbl.Rows {
+		if cell(t, tbl, i, 0) == 4 && cell(t, tbl, i, 1) == 2 {
+			if cell(t, tbl, i, 2) != 0 {
+				t.Fatal("default tuning misses deadlines in the sweep")
+			}
+			return
+		}
+	}
+	t.Fatal("default tuning missing from the sweep")
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestQoSComparisonShapes(t *testing.T) {
+	tbl, err := QoSComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	lat := map[string]float64{}
+	slo := map[string]float64{}
+	for i, row := range tbl.Rows {
+		lat[row[0]] = cell(t, tbl, i, 1)
+		slo[row[0]] = cell(t, tbl, i, 3)
+	}
+	// SprintCon serves interactive at peak for the whole sprint: its
+	// latency must beat every baseline's.
+	for _, b := range []string{"SGCT", "SGCT-V1", "SGCT-V2"} {
+		if lat["SprintCon"] >= lat[b] {
+			t.Fatalf("SprintCon mean latency %v not below %s's %v", lat["SprintCon"], b, lat[b])
+		}
+	}
+	// The throttling baselines violate the SLO far more often.
+	if slo["SGCT-V1"] < 10*slo["SprintCon"]+0.01 {
+		t.Fatalf("V1 SLO violations %v not well above SprintCon's %v", slo["SGCT-V1"], slo["SprintCon"])
+	}
+}
+
+func TestBatteryProvisioningShapes(t *testing.T) {
+	tbl, err := BatteryProvisioning()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 16 {
+		t.Fatalf("rows = %d, want 4 capacities × 4 policies", len(tbl.Rows))
+	}
+	for i, row := range tbl.Rows {
+		if row[1] != "SprintCon" {
+			continue
+		}
+		// SprintCon stays safe at every battery size, down to 100 Wh.
+		if trips := cell(t, tbl, i, 2); trips != 0 {
+			t.Fatalf("SprintCon tripped at %s Wh", row[0])
+		}
+		if outage := cell(t, tbl, i, 3); outage != 0 {
+			t.Fatalf("SprintCon outage at %s Wh", row[0])
+		}
+	}
+}
+
+func TestBurstRegimesShapes(t *testing.T) {
+	tbl, err := BurstRegimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for i, row := range tbl.Rows {
+		if trips := cell(t, tbl, i, 2); trips != 0 {
+			t.Fatalf("burst %s tripped", row[0])
+		}
+		if fi := cell(t, tbl, i, 5); fi < 0.99 {
+			t.Fatalf("burst %s: interactive %v not at peak", row[0], fi)
+		}
+	}
+	// The short burst uses no UPS at all.
+	if dod := cell(t, tbl, 0, 3); dod != 0 {
+		t.Fatalf("45 s burst DoD = %v, want 0", dod)
+	}
+	// The long sprint extracts the most overload energy.
+	long := cell(t, tbl, 3, 4)
+	mid := cell(t, tbl, 2, 4)
+	if long <= mid {
+		t.Fatalf("periodic overload energy %v not above constant %v", long, mid)
+	}
+}
+
+func TestSprintingBenefitShapes(t *testing.T) {
+	tbl, err := SprintingBenefit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	scMisses := cell(t, tbl, 0, 3)
+	nsMisses := cell(t, tbl, 1, 3)
+	if scMisses != 0 {
+		t.Fatalf("SprintCon misses = %v", scMisses)
+	}
+	if nsMisses < 10 {
+		t.Fatalf("no-sprint misses = %v, want many (the rack cannot fit the load)", nsMisses)
+	}
+	scInter := cell(t, tbl, 0, 1)
+	nsInter := cell(t, tbl, 1, 1)
+	if !(scInter > nsInter) {
+		t.Fatalf("sprinting should buy interactive frequency: %v vs %v", scInter, nsInter)
+	}
+}
+
+func TestDailyCostShapes(t *testing.T) {
+	tbl, err := DailyCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	repl := map[string]float64{}
+	total := map[string]float64{}
+	for i, row := range tbl.Rows {
+		repl[row[0]] = cell(t, tbl, i, 3)
+		total[row[0]] = cell(t, tbl, i, 7)
+	}
+	if repl["SprintCon"] != 0 {
+		t.Fatalf("SprintCon needs %v replacements, want 0", repl["SprintCon"])
+	}
+	if repl["SGCT-V1"] < 3 {
+		t.Fatalf("V1 replacements %v, want ≥3 (paper: 3-4)", repl["SGCT-V1"])
+	}
+	for _, b := range []string{"SGCT", "SGCT-V1", "SGCT-V2"} {
+		if total["SprintCon"] >= total[b] {
+			t.Fatalf("SprintCon 10-year cost %v not below %s's %v", total["SprintCon"], b, total[b])
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package hostctl
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultSysfsRoot is the standard cpufreq location.
+const DefaultSysfsRoot = "/sys/devices/system/cpu"
+
+// CPUFreq drives per-core DVFS through the cpufreq sysfs interface — the
+// paper's "server modulator".
+type CPUFreq struct {
+	fs   FS
+	root string
+}
+
+// NewCPUFreq returns a driver rooted at root ("" selects the default).
+func NewCPUFreq(fsys FS, root string) *CPUFreq {
+	if root == "" {
+		root = DefaultSysfsRoot
+	}
+	return &CPUFreq{fs: fsys, root: root}
+}
+
+// cpufreqPath returns the path of one attribute file of one core.
+func (c *CPUFreq) cpufreqPath(core int, attr string) string {
+	return filepath.Join(c.root, fmt.Sprintf("cpu%d", core), "cpufreq", attr)
+}
+
+// Cores lists the core indices that expose a cpufreq directory.
+func (c *CPUFreq) Cores() ([]int, error) {
+	matches, err := c.fs.Glob(filepath.Join(c.root, "cpu*", "cpufreq", "scaling_governor"))
+	if err != nil {
+		return nil, fmt.Errorf("hostctl: %w", err)
+	}
+	var cores []int
+	for _, m := range matches {
+		dir := filepath.Base(filepath.Dir(filepath.Dir(m))) // cpuN
+		n, err := strconv.Atoi(strings.TrimPrefix(dir, "cpu"))
+		if err != nil {
+			continue // cpuidle, cpufreq, etc.
+		}
+		cores = append(cores, n)
+	}
+	sort.Ints(cores)
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("hostctl: no cpufreq-capable cores under %s", c.root)
+	}
+	return cores, nil
+}
+
+// AvailableFreqsKHz returns a core's P-state table in kHz, ascending.
+func (c *CPUFreq) AvailableFreqsKHz(core int) ([]int, error) {
+	data, err := c.fs.ReadFile(c.cpufreqPath(core, "scaling_available_frequencies"))
+	if err != nil {
+		return nil, fmt.Errorf("hostctl: %w", err)
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("hostctl: cpu%d has an empty frequency table", core)
+	}
+	freqs := make([]int, 0, len(fields))
+	for _, f := range fields {
+		khz, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("hostctl: cpu%d: bad frequency %q", core, f)
+		}
+		freqs = append(freqs, khz)
+	}
+	sort.Ints(freqs)
+	return freqs, nil
+}
+
+// SetGovernor selects a core's cpufreq governor. SprintCon needs
+// "userspace" so that scaling_setspeed is honored.
+func (c *CPUFreq) SetGovernor(core int, governor string) error {
+	path := c.cpufreqPath(core, "scaling_governor")
+	if err := c.fs.WriteFile(path, []byte(governor+"\n"), 0o644); err != nil {
+		return fmt.Errorf("hostctl: set governor: %w", err)
+	}
+	return nil
+}
+
+// Governor reads a core's current governor.
+func (c *CPUFreq) Governor(core int) (string, error) {
+	data, err := c.fs.ReadFile(c.cpufreqPath(core, "scaling_governor"))
+	if err != nil {
+		return "", fmt.Errorf("hostctl: %w", err)
+	}
+	return strings.TrimSpace(string(data)), nil
+}
+
+// SetFreqKHz writes a core's target frequency (userspace governor).
+func (c *CPUFreq) SetFreqKHz(core, khz int) error {
+	path := c.cpufreqPath(core, "scaling_setspeed")
+	if err := c.fs.WriteFile(path, []byte(strconv.Itoa(khz)+"\n"), 0o644); err != nil {
+		return fmt.Errorf("hostctl: set frequency: %w", err)
+	}
+	return nil
+}
+
+// CurFreqKHz reads a core's current frequency.
+func (c *CPUFreq) CurFreqKHz(core int) (int, error) {
+	data, err := c.fs.ReadFile(c.cpufreqPath(core, "scaling_cur_freq"))
+	if err != nil {
+		return 0, fmt.Errorf("hostctl: %w", err)
+	}
+	khz, err := strconv.Atoi(strings.TrimSpace(string(data)))
+	if err != nil {
+		return 0, fmt.Errorf("hostctl: bad scaling_cur_freq: %w", err)
+	}
+	return khz, nil
+}
+
+// Modulator applies the controller's continuous GHz commands to a host:
+// it quantizes to each core's available table and writes sysfs, switching
+// the governor to userspace on first use.
+type Modulator struct {
+	cf     *CPUFreq
+	tables map[int][]int // core → ascending kHz table
+	armed  map[int]bool  // governor switched
+}
+
+// NewModulator discovers the host's cores and frequency tables.
+func NewModulator(fsys FS, root string) (*Modulator, error) {
+	cf := NewCPUFreq(fsys, root)
+	cores, err := cf.Cores()
+	if err != nil {
+		return nil, err
+	}
+	m := &Modulator{cf: cf, tables: make(map[int][]int), armed: make(map[int]bool)}
+	for _, core := range cores {
+		tbl, err := cf.AvailableFreqsKHz(core)
+		if err != nil {
+			return nil, err
+		}
+		m.tables[core] = tbl
+	}
+	return m, nil
+}
+
+// Cores returns the discovered core indices, ascending.
+func (m *Modulator) Cores() []int {
+	out := make([]int, 0, len(m.tables))
+	for c := range m.tables {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MaxGHz returns a core's top frequency in GHz (0 for unknown cores).
+func (m *Modulator) MaxGHz(core int) float64 {
+	tbl := m.tables[core]
+	if len(tbl) == 0 {
+		return 0
+	}
+	return float64(tbl[len(tbl)-1]) / 1e6
+}
+
+// Apply sets a core to the nearest available frequency to ghz.
+func (m *Modulator) Apply(core int, ghz float64) error {
+	tbl, ok := m.tables[core]
+	if !ok {
+		return fmt.Errorf("hostctl: unknown core %d", core)
+	}
+	if !m.armed[core] {
+		if err := m.cf.SetGovernor(core, "userspace"); err != nil {
+			return err
+		}
+		m.armed[core] = true
+	}
+	target := int(ghz * 1e6)
+	best := tbl[0]
+	bestDiff := abs(target - best)
+	for _, khz := range tbl[1:] {
+		if d := abs(target - khz); d < bestDiff {
+			best, bestDiff = khz, d
+		}
+	}
+	return m.cf.SetFreqKHz(core, best)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,138 @@
+// Package hostctl adapts SprintCon's server power controller to a real
+// Linux host: the "server modulators adjust the frequencies of CPU cores
+// (e.g., with writing system files)" step of paper Section IV-C, and the
+// "server monitors report the utilization of each CPU core" step, are
+// implemented against the cpufreq sysfs interface and /proc/stat. All file
+// access goes through a small FS interface so the package is fully testable
+// (and demonstrable) with an in-memory fake.
+package hostctl
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// FS is the file-access surface hostctl needs. OSFS touches the real
+// system; MapFS is an in-memory fake for tests and demos.
+type FS interface {
+	ReadFile(path string) ([]byte, error)
+	WriteFile(path string, data []byte, perm fs.FileMode) error
+	Glob(pattern string) ([]string, error)
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// WriteFile implements FS.
+func (OSFS) WriteFile(path string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(path, data, perm)
+}
+
+// Glob implements FS.
+func (OSFS) Glob(pattern string) ([]string, error) { return filepath.Glob(pattern) }
+
+// MapFS is an in-memory FS keyed by absolute path. The zero value is not
+// usable; create with NewMapFS. It is safe for concurrent use.
+type MapFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+	// Writes records every WriteFile in order (path=data), so tests and
+	// demos can assert exactly what would have been written to sysfs.
+	writes []string
+}
+
+// NewMapFS returns an empty in-memory filesystem.
+func NewMapFS() *MapFS {
+	return &MapFS{files: make(map[string][]byte)}
+}
+
+// Set seeds a file.
+func (m *MapFS) Set(path, content string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[path] = []byte(content)
+}
+
+// ReadFile implements FS.
+func (m *MapFS) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[path]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: path, Err: fs.ErrNotExist}
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// WriteFile implements FS.
+func (m *MapFS) WriteFile(path string, data []byte, _ fs.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; !ok {
+		return &fs.PathError{Op: "write", Path: path, Err: fs.ErrNotExist}
+	}
+	m.files[path] = append([]byte(nil), data...)
+	m.writes = append(m.writes, path+"="+string(data))
+	return nil
+}
+
+// Glob implements FS (supports the patterns hostctl uses).
+func (m *MapFS) Glob(pattern string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for path := range m.files {
+		ok, err := filepath.Match(pattern, path)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Writes returns the ordered log of writes ("path=data").
+func (m *MapFS) Writes() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, len(m.writes))
+	copy(out, m.writes)
+	return out
+}
+
+// SeedFakeHost populates a MapFS with a cpufreq sysfs tree and /proc/stat
+// for n cores with the given available frequencies (kHz), matching what
+// hostctl expects of a Linux host.
+func SeedFakeHost(m *MapFS, n int, freqsKHz []int) {
+	avail := ""
+	for i, f := range freqsKHz {
+		if i > 0 {
+			avail += " "
+		}
+		avail += fmt.Sprintf("%d", f)
+	}
+	for c := 0; c < n; c++ {
+		base := fmt.Sprintf("/sys/devices/system/cpu/cpu%d/cpufreq", c)
+		m.Set(base+"/scaling_available_frequencies", avail+"\n")
+		m.Set(base+"/scaling_governor", "ondemand\n")
+		m.Set(base+"/scaling_setspeed", "<unsupported>\n")
+		m.Set(base+"/scaling_cur_freq", fmt.Sprintf("%d\n", freqsKHz[0]))
+	}
+	stat := "cpu  0 0 0 0 0 0 0 0 0 0\n"
+	for c := 0; c < n; c++ {
+		stat += fmt.Sprintf("cpu%d 100 0 50 800 50 0 0 0 0 0\n", c)
+	}
+	m.Set("/proc/stat", stat)
+}

@@ -1,0 +1,241 @@
+package hostctl
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func fakeHost(t *testing.T, cores int) *MapFS {
+	t.Helper()
+	m := NewMapFS()
+	SeedFakeHost(m, cores, []int{400000, 800000, 1200000, 1600000, 2000000})
+	return m
+}
+
+func TestMapFSBasics(t *testing.T) {
+	m := NewMapFS()
+	m.Set("/a/b", "hello")
+	data, err := m.ReadFile("/a/b")
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if _, err := m.ReadFile("/missing"); err == nil {
+		t.Fatal("missing file should error")
+	}
+	if err := m.WriteFile("/missing", []byte("x"), 0o644); err == nil {
+		t.Fatal("writing a nonexistent sysfs file should error")
+	}
+	if err := m.WriteFile("/a/b", []byte("world"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Writes(); len(got) != 1 || got[0] != "/a/b=world" {
+		t.Fatalf("Writes = %v", got)
+	}
+	// Mutating the returned slice must not affect stored data.
+	data, _ = m.ReadFile("/a/b")
+	data[0] = 'X'
+	again, _ := m.ReadFile("/a/b")
+	if string(again) != "world" {
+		t.Fatal("ReadFile must return a copy")
+	}
+}
+
+func TestMapFSGlob(t *testing.T) {
+	m := NewMapFS()
+	m.Set("/sys/cpu0/f", "1")
+	m.Set("/sys/cpu1/f", "1")
+	m.Set("/sys/other", "1")
+	got, err := m.Glob("/sys/cpu*/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "/sys/cpu0/f" {
+		t.Fatalf("Glob = %v", got)
+	}
+}
+
+func TestCoresDiscovery(t *testing.T) {
+	m := fakeHost(t, 4)
+	cf := NewCPUFreq(m, "")
+	cores, err := cf.Cores()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cores) != 4 || cores[0] != 0 || cores[3] != 3 {
+		t.Fatalf("cores = %v", cores)
+	}
+	empty := NewCPUFreq(NewMapFS(), "")
+	if _, err := empty.Cores(); err == nil {
+		t.Fatal("no cores should error")
+	}
+}
+
+func TestAvailableFreqs(t *testing.T) {
+	m := fakeHost(t, 1)
+	cf := NewCPUFreq(m, "")
+	freqs, err := cf.AvailableFreqsKHz(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(freqs) != 5 || freqs[0] != 400000 || freqs[4] != 2000000 {
+		t.Fatalf("freqs = %v", freqs)
+	}
+	m.Set("/sys/devices/system/cpu/cpu0/cpufreq/scaling_available_frequencies", "garbage\n")
+	if _, err := cf.AvailableFreqsKHz(0); err == nil {
+		t.Fatal("garbage table should error")
+	}
+}
+
+func TestGovernorAndSetSpeed(t *testing.T) {
+	m := fakeHost(t, 2)
+	cf := NewCPUFreq(m, "")
+	if gov, err := cf.Governor(1); err != nil || gov != "ondemand" {
+		t.Fatalf("Governor = %q, %v", gov, err)
+	}
+	if err := cf.SetGovernor(1, "userspace"); err != nil {
+		t.Fatal(err)
+	}
+	if gov, _ := cf.Governor(1); gov != "userspace" {
+		t.Fatalf("governor after set = %q", gov)
+	}
+	if err := cf.SetFreqKHz(1, 1200000); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, w := range m.Writes() {
+		if strings.Contains(w, "cpu1/cpufreq/scaling_setspeed=1200000") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("setspeed write missing from %v", m.Writes())
+	}
+}
+
+func TestCurFreq(t *testing.T) {
+	m := fakeHost(t, 1)
+	cf := NewCPUFreq(m, "")
+	khz, err := cf.CurFreqKHz(0)
+	if err != nil || khz != 400000 {
+		t.Fatalf("CurFreqKHz = %d, %v", khz, err)
+	}
+	m.Set("/sys/devices/system/cpu/cpu0/cpufreq/scaling_cur_freq", "notanumber\n")
+	if _, err := cf.CurFreqKHz(0); err == nil {
+		t.Fatal("bad cur_freq should error")
+	}
+}
+
+func TestModulatorQuantizesAndArmsGovernor(t *testing.T) {
+	m := fakeHost(t, 2)
+	mod, err := NewModulator(m, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mod.Cores(); len(got) != 2 {
+		t.Fatalf("Cores = %v", got)
+	}
+	if got := mod.MaxGHz(0); got != 2.0 {
+		t.Fatalf("MaxGHz = %v", got)
+	}
+	if mod.MaxGHz(99) != 0 {
+		t.Fatal("unknown core MaxGHz should be 0")
+	}
+	// 1.234 GHz quantizes to the nearest table entry, 1.2 GHz.
+	if err := mod.Apply(0, 1.234); err != nil {
+		t.Fatal(err)
+	}
+	writes := m.Writes()
+	if len(writes) != 2 {
+		t.Fatalf("want governor write + setspeed write, got %v", writes)
+	}
+	if !strings.Contains(writes[0], "scaling_governor=userspace") {
+		t.Fatalf("first write should arm the userspace governor: %v", writes[0])
+	}
+	if !strings.Contains(writes[1], "scaling_setspeed=1200000") {
+		t.Fatalf("setspeed write = %v", writes[1])
+	}
+	// The governor is armed once per core, not per Apply.
+	if err := mod.Apply(0, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Writes()); got != 3 {
+		t.Fatalf("second Apply should add exactly one write, have %d", got)
+	}
+	if err := mod.Apply(7, 1.0); err == nil {
+		t.Fatal("unknown core should error")
+	}
+}
+
+func TestStatSamplerUtilization(t *testing.T) {
+	m := NewMapFS()
+	m.Set("/proc/stat", "cpu  0 0 0 0 0\ncpu0 100 0 100 800 0 0 0 0\ncpu1 50 0 50 900 0 0 0 0\n")
+	s := NewStatSampler(m, "")
+	first, err := s.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 0 {
+		t.Fatalf("first sample should prime only, got %v", first)
+	}
+	// Advance: cpu0 +100 busy +100 idle (50 %); cpu1 +10 busy +90 idle (10 %).
+	m.Set("/proc/stat", "cpu  0 0 0 0 0\ncpu0 150 0 150 900 0 0 0 0\ncpu1 55 0 55 990 0 0 0 0\n")
+	got, err := s.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := got[0]; u < 0.49 || u > 0.51 {
+		t.Fatalf("cpu0 util = %v, want 0.5", u)
+	}
+	if u := got[1]; u < 0.09 || u > 0.11 {
+		t.Fatalf("cpu1 util = %v, want 0.1", u)
+	}
+}
+
+func TestStatSamplerIdleIncludesIOWait(t *testing.T) {
+	m := NewMapFS()
+	m.Set("/proc/stat", "cpu0 0 0 0 0 0 0 0 0\n")
+	s := NewStatSampler(m, "")
+	if _, err := s.Sample(); err != nil {
+		t.Fatal(err)
+	}
+	// +50 busy, +25 idle, +25 iowait → 50 % utilization.
+	m.Set("/proc/stat", "cpu0 50 0 0 25 25 0 0 0\n")
+	got, err := s.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := got[0]; u != 0.5 {
+		t.Fatalf("util = %v, want 0.5 (iowait counted idle)", u)
+	}
+}
+
+func TestStatSamplerErrors(t *testing.T) {
+	m := NewMapFS()
+	s := NewStatSampler(m, "")
+	if _, err := s.Sample(); err == nil {
+		t.Fatal("missing /proc/stat should error")
+	}
+	m.Set("/proc/stat", "cpu  1 2 3 4 5\n") // aggregate only, no per-core lines
+	if _, err := s.Sample(); err == nil {
+		t.Fatal("no per-core lines should error")
+	}
+	m.Set("/proc/stat", "cpu0 1 2 x 4 5\n")
+	if _, err := s.Sample(); err == nil {
+		t.Fatal("garbage jiffies should error")
+	}
+}
+
+func TestSeedFakeHostShape(t *testing.T) {
+	m := NewMapFS()
+	SeedFakeHost(m, 3, []int{400000, 2000000})
+	for c := 0; c < 3; c++ {
+		path := fmt.Sprintf("/sys/devices/system/cpu/cpu%d/cpufreq/scaling_available_frequencies", c)
+		if _, err := m.ReadFile(path); err != nil {
+			t.Fatalf("missing %s", path)
+		}
+	}
+	if _, err := m.ReadFile("/proc/stat"); err != nil {
+		t.Fatal("missing /proc/stat")
+	}
+}

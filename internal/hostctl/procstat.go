@@ -1,0 +1,94 @@
+package hostctl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// cpuTimes holds one /proc/stat cpu line's jiffy counters.
+type cpuTimes struct {
+	busy, idle uint64
+}
+
+// StatSampler computes per-core utilization between consecutive samples of
+// /proc/stat — the paper's "server monitors report the utilization of each
+// CPU core in the last control period".
+type StatSampler struct {
+	fs   FS
+	path string
+	last map[int]cpuTimes
+}
+
+// NewStatSampler returns a sampler reading path ("" selects /proc/stat).
+func NewStatSampler(fsys FS, path string) *StatSampler {
+	if path == "" {
+		path = "/proc/stat"
+	}
+	return &StatSampler{fs: fsys, path: path, last: make(map[int]cpuTimes)}
+}
+
+// Sample reads /proc/stat and returns utilization per core since the
+// previous call (first call primes the counters and returns an empty map).
+func (s *StatSampler) Sample() (map[int]float64, error) {
+	cur, err := s.read()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]float64)
+	for core, now := range cur {
+		prev, ok := s.last[core]
+		if !ok {
+			continue
+		}
+		dBusy := now.busy - prev.busy
+		dIdle := now.idle - prev.idle
+		total := dBusy + dIdle
+		if total > 0 {
+			out[core] = float64(dBusy) / float64(total)
+		}
+	}
+	s.last = cur
+	return out, nil
+}
+
+// read parses the per-core lines of /proc/stat.
+func (s *StatSampler) read() (map[int]cpuTimes, error) {
+	data, err := s.fs.ReadFile(s.path)
+	if err != nil {
+		return nil, fmt.Errorf("hostctl: %w", err)
+	}
+	out := make(map[int]cpuTimes)
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 5 || !strings.HasPrefix(fields[0], "cpu") || fields[0] == "cpu" {
+			continue
+		}
+		core, err := strconv.Atoi(strings.TrimPrefix(fields[0], "cpu"))
+		if err != nil {
+			continue
+		}
+		var vals []uint64
+		for _, f := range fields[1:] {
+			v, err := strconv.ParseUint(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("hostctl: bad /proc/stat field %q", f)
+			}
+			vals = append(vals, v)
+		}
+		// user nice system idle iowait irq softirq steal ...
+		var t cpuTimes
+		for i, v := range vals {
+			if i == 3 || i == 4 { // idle + iowait
+				t.idle += v
+			} else {
+				t.busy += v
+			}
+		}
+		out[core] = t
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("hostctl: no per-core lines in %s", s.path)
+	}
+	return out, nil
+}

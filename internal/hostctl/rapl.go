@@ -1,0 +1,145 @@
+package hostctl
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultRAPLRoot is the standard Linux powercap location.
+const DefaultRAPLRoot = "/sys/class/powercap"
+
+// RAPLSampler reads CPU package power from the Linux powercap (Intel RAPL)
+// interface — the host-side realization of the paper's "power monitor".
+// Each intel-rapl:N directory exposes a monotonically increasing energy_uj
+// counter that wraps at max_energy_range_uj; power is the energy delta over
+// the sampling interval.
+type RAPLSampler struct {
+	fs   FS
+	root string
+	// per-domain previous counter and wrap range
+	last   map[string]uint64
+	ranges map[string]uint64
+}
+
+// NewRAPLSampler discovers the RAPL domains under root ("" selects the
+// default). It returns an error when no domain exposes an energy counter.
+func NewRAPLSampler(fsys FS, root string) (*RAPLSampler, error) {
+	if root == "" {
+		root = DefaultRAPLRoot
+	}
+	s := &RAPLSampler{
+		fs:     fsys,
+		root:   root,
+		last:   make(map[string]uint64),
+		ranges: make(map[string]uint64),
+	}
+	domains, err := s.Domains()
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range domains {
+		rng, err := s.readUint(filepath.Join(root, d, "max_energy_range_uj"))
+		if err != nil {
+			// A missing range file disables wrap handling for the
+			// domain but does not reject the host.
+			rng = 0
+		}
+		s.ranges[d] = rng
+	}
+	return s, nil
+}
+
+// Domains lists the package-level RAPL domains (intel-rapl:N), sorted.
+func (s *RAPLSampler) Domains() ([]string, error) {
+	matches, err := s.fs.Glob(filepath.Join(s.root, "intel-rapl:*", "energy_uj"))
+	if err != nil {
+		return nil, fmt.Errorf("hostctl: %w", err)
+	}
+	var out []string
+	for _, m := range matches {
+		name := filepath.Base(filepath.Dir(m))
+		// Package domains only: exclude sub-domains like intel-rapl:0:0
+		// (their energy is contained in the parent's counter).
+		if strings.Count(name, ":") == 1 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("hostctl: no RAPL package domains under %s", s.root)
+	}
+	return out, nil
+}
+
+// Sample reads every domain's energy counter and returns the average power
+// in watts per domain since the previous call, given the elapsed seconds.
+// The first call primes the counters and returns an empty map.
+func (s *RAPLSampler) Sample(elapsedS float64) (map[string]float64, error) {
+	if elapsedS <= 0 {
+		return nil, fmt.Errorf("hostctl: elapsed must be positive")
+	}
+	domains, err := s.Domains()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, d := range domains {
+		cur, err := s.readUint(filepath.Join(s.root, d, "energy_uj"))
+		if err != nil {
+			return nil, err
+		}
+		prev, ok := s.last[d]
+		s.last[d] = cur
+		if !ok {
+			continue
+		}
+		var deltaUJ uint64
+		if cur >= prev {
+			deltaUJ = cur - prev
+		} else if rng := s.ranges[d]; rng > 0 {
+			deltaUJ = rng - prev + cur // counter wrapped
+		} else {
+			continue // wrap with unknown range: skip this interval
+		}
+		out[d] = float64(deltaUJ) / 1e6 / elapsedS
+	}
+	return out, nil
+}
+
+// TotalPowerW sums the per-domain powers of one Sample call.
+func TotalPowerW(sample map[string]float64) float64 {
+	var sum float64
+	for _, w := range sample {
+		sum += w
+	}
+	return sum
+}
+
+// readUint parses a sysfs integer file.
+func (s *RAPLSampler) readUint(path string) (uint64, error) {
+	data, err := s.fs.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("hostctl: %w", err)
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("hostctl: bad counter in %s: %w", path, err)
+	}
+	return v, nil
+}
+
+// SeedFakeRAPL populates a MapFS with a RAPL tree of n package domains,
+// each with the given wrap range in µJ and a zeroed energy counter.
+func SeedFakeRAPL(m *MapFS, n int, rangeUJ uint64) {
+	for i := 0; i < n; i++ {
+		base := fmt.Sprintf("%s/intel-rapl:%d", DefaultRAPLRoot, i)
+		m.Set(base+"/energy_uj", "0\n")
+		m.Set(base+"/max_energy_range_uj", fmt.Sprintf("%d\n", rangeUJ))
+		// A core sub-domain that must be excluded from package sums.
+		sub := fmt.Sprintf("%s/intel-rapl:%d:0", DefaultRAPLRoot, i)
+		m.Set(sub+"/energy_uj", "0\n")
+	}
+}

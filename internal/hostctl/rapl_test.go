@@ -1,0 +1,94 @@
+package hostctl
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func fakeRAPL(t *testing.T) (*MapFS, *RAPLSampler) {
+	t.Helper()
+	m := NewMapFS()
+	SeedFakeRAPL(m, 2, 262143328850)
+	s, err := NewRAPLSampler(m, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, s
+}
+
+func setEnergy(m *MapFS, domain int, uj uint64) {
+	m.Set(fmt.Sprintf("%s/intel-rapl:%d/energy_uj", DefaultRAPLRoot, domain),
+		fmt.Sprintf("%d\n", uj))
+}
+
+func TestRAPLDomainsExcludeSubdomains(t *testing.T) {
+	_, s := fakeRAPL(t)
+	domains, err := s.Domains()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(domains) != 2 || domains[0] != "intel-rapl:0" || domains[1] != "intel-rapl:1" {
+		t.Fatalf("domains = %v", domains)
+	}
+}
+
+func TestRAPLSampleComputesWatts(t *testing.T) {
+	m, s := fakeRAPL(t)
+	first, err := s.Sample(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 0 {
+		t.Fatalf("first sample should prime, got %v", first)
+	}
+	// 50 J on package 0 and 30 J on package 1 over 2 s → 25 W and 15 W.
+	setEnergy(m, 0, 50_000_000)
+	setEnergy(m, 1, 30_000_000)
+	got, err := s.Sample(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got["intel-rapl:0"]-25) > 1e-9 || math.Abs(got["intel-rapl:1"]-15) > 1e-9 {
+		t.Fatalf("sample = %v", got)
+	}
+	if w := TotalPowerW(got); math.Abs(w-40) > 1e-9 {
+		t.Fatalf("total = %v", w)
+	}
+}
+
+func TestRAPLWraparound(t *testing.T) {
+	m := NewMapFS()
+	const rng = 1_000_000 // tiny 1 J wrap range for the test
+	SeedFakeRAPL(m, 1, rng)
+	setEnergy(m, 0, 900_000)
+	s, err := NewRAPLSampler(m, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sample(1); err != nil {
+		t.Fatal(err)
+	}
+	setEnergy(m, 0, 100_000) // wrapped: 0.1 J + (1 − 0.9) J = 0.2 J
+	got, err := s.Sample(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got["intel-rapl:0"]-0.2) > 1e-9 {
+		t.Fatalf("wrapped power = %v, want 0.2 W", got["intel-rapl:0"])
+	}
+}
+
+func TestRAPLErrors(t *testing.T) {
+	if _, err := NewRAPLSampler(NewMapFS(), ""); err == nil {
+		t.Fatal("no domains should error")
+	}
+	m, s := fakeRAPL(t)
+	if _, err := s.Sample(0); err == nil {
+		t.Fatal("zero elapsed should error")
+	}
+	m.Set(DefaultRAPLRoot+"/intel-rapl:0/energy_uj", "garbage\n")
+	if _, err := s.Sample(1); err == nil {
+		t.Fatal("garbage counter should error")
+	}
+}

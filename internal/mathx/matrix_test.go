@@ -1,0 +1,217 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	m.Inc(1, 2, 2)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape = %dx%d", m.Rows(), m.Cols())
+	}
+	if m.At(0, 0) != 1 || m.At(1, 2) != 7 {
+		t.Fatalf("At values wrong: %v %v", m.At(0, 0), m.At(1, 2))
+	}
+}
+
+func TestIdentityMulVec(t *testing.T) {
+	m := Identity(4)
+	x := Vector{1, 2, 3, 4}
+	y := m.MulVec(x)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatalf("I·x = %v", y)
+		}
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(3, 2)
+	// a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+	vals := []float64{1, 2, 3, 4, 5, 6}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			a.Set(i, j, vals[i*3+j])
+		}
+	}
+	valsB := []float64{7, 8, 9, 10, 11, 12}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			b.Set(i, j, valsB[i*2+j])
+		}
+	}
+	c := a.Mul(b)
+	want := [][]float64{{58, 64}, {139, 154}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewMatrix(2, 3)
+	a.Set(0, 1, 5)
+	a.Set(1, 2, -3)
+	at := a.Transpose()
+	if at.Rows() != 3 || at.Cols() != 2 {
+		t.Fatalf("transpose shape %dx%d", at.Rows(), at.Cols())
+	}
+	if at.At(1, 0) != 5 || at.At(2, 1) != -3 {
+		t.Fatal("transpose values wrong")
+	}
+}
+
+func TestOuterAdd(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.OuterAdd(2, Vector{1, 2}, Vector{3, 4})
+	want := [][]float64{{6, 8}, {12, 16}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if m.At(i, j) != want[i][j] {
+				t.Fatalf("OuterAdd[%d][%d] = %v", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	a := Identity(2)
+	b := Identity(2)
+	a.AddScaled(3, b)
+	if a.At(0, 0) != 4 || a.At(1, 1) != 4 || a.At(0, 1) != 0 {
+		t.Fatal("AddScaled wrong")
+	}
+}
+
+func TestSymmetricMaxDiff(t *testing.T) {
+	m := Identity(3)
+	if m.SymmetricMaxDiff() != 0 {
+		t.Fatal("identity should be symmetric")
+	}
+	m.Set(0, 2, 1)
+	if m.SymmetricMaxDiff() != 1 {
+		t.Fatalf("SymmetricMaxDiff = %v", m.SymmetricMaxDiff())
+	}
+	r := NewMatrix(2, 3)
+	if !math.IsInf(r.SymmetricMaxDiff(), 1) {
+		t.Fatal("non-square should report +Inf")
+	}
+}
+
+// randomSPD builds A = Bᵀ·B + εI, guaranteed symmetric positive definite.
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	b := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, rng.NormFloat64())
+		}
+	}
+	a := b.Transpose().Mul(b)
+	for i := 0; i < n; i++ {
+		a.Inc(i, i, 0.5)
+	}
+	return a
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(12)
+		a := randomSPD(rng, n)
+		l, err := a.Cholesky()
+		if err != nil {
+			t.Fatalf("Cholesky failed: %v", err)
+		}
+		rec := l.Mul(l.Transpose())
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !almostEq(rec.At(i, j), a.At(i, j), 1e-8*(1+math.Abs(a.At(i, j)))) {
+					t.Fatalf("trial %d: L·Lᵀ ≠ A at (%d,%d): %v vs %v", trial, i, j, rec.At(i, j), a.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	m := Identity(2)
+	m.Set(1, 1, -1)
+	if _, err := m.Cholesky(); err == nil {
+		t.Fatal("Cholesky should reject an indefinite matrix")
+	}
+	r := NewMatrix(2, 3)
+	if _, err := r.Cholesky(); err == nil {
+		t.Fatal("Cholesky should reject a non-square matrix")
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(10)
+		a := randomSPD(rng, n)
+		want := NewVector(n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got, err := a.SolveSPD(b)
+		if err != nil {
+			t.Fatalf("SolveSPD: %v", err)
+		}
+		if diff := got.Sub(want).Norm2(); diff > 1e-7*(1+want.Norm2()) {
+			t.Fatalf("trial %d: solution error %v", trial, diff)
+		}
+	}
+}
+
+// Property: (AB)ᵀ = BᵀAᵀ on small random matrices.
+func TestTransposeOfProductProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewMatrix(3, 4)
+		b := NewMatrix(4, 2)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 4; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 2; j++ {
+				b.Set(i, j, rng.NormFloat64())
+			}
+		}
+		lhs := a.Mul(b).Transpose()
+		rhs := b.Transpose().Mul(a.Transpose())
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 3; j++ {
+				if !almostEq(lhs.At(i, j), rhs.At(i, j), 1e-10) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulVecPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulVec with wrong length should panic")
+		}
+	}()
+	Identity(3).MulVec(Vector{1, 2})
+}

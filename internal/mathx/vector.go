@@ -1,0 +1,151 @@
+// Package mathx provides the small dense linear-algebra kernel used by
+// SprintCon's model-predictive controller: vectors, row-major matrices,
+// Cholesky factorization and triangular solves. It is deliberately minimal
+// and stdlib-only; sizes in this project are at most a few hundred, so
+// clarity is preferred over blocking or SIMD tricks.
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense column vector of float64.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Constant returns a length-n vector with every element set to v.
+func Constant(n int, v float64) Vector {
+	x := make(Vector, n)
+	for i := range x {
+		x[i] = v
+	}
+	return x
+}
+
+// Clone returns a copy of x.
+func (x Vector) Clone() Vector {
+	y := make(Vector, len(x))
+	copy(y, x)
+	return y
+}
+
+// Dot returns the inner product of x and y. It panics if lengths differ.
+func (x Vector) Dot(y Vector) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mathx: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Add returns x + y as a new vector.
+func (x Vector) Add(y Vector) Vector {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mathx: Add length mismatch %d vs %d", len(x), len(y)))
+	}
+	z := make(Vector, len(x))
+	for i := range x {
+		z[i] = x[i] + y[i]
+	}
+	return z
+}
+
+// Sub returns x − y as a new vector.
+func (x Vector) Sub(y Vector) Vector {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mathx: Sub length mismatch %d vs %d", len(x), len(y)))
+	}
+	z := make(Vector, len(x))
+	for i := range x {
+		z[i] = x[i] - y[i]
+	}
+	return z
+}
+
+// Scale returns a·x as a new vector.
+func (x Vector) Scale(a float64) Vector {
+	z := make(Vector, len(x))
+	for i := range x {
+		z[i] = a * x[i]
+	}
+	return z
+}
+
+// AXPY performs x ← x + a·y in place.
+func (x Vector) AXPY(a float64, y Vector) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mathx: AXPY length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i := range x {
+		x[i] += a * y[i]
+	}
+}
+
+// Norm2 returns the Euclidean norm of x.
+func (x Vector) Norm2() float64 {
+	// Scaled accumulation avoids overflow for extreme magnitudes.
+	var scale, ssq float64 = 0, 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns the maximum absolute element of x (0 for an empty vector).
+func (x Vector) NormInf() float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of the elements of x.
+func (x Vector) Sum() float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of x, or 0 for an empty vector.
+func (x Vector) Mean() float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return x.Sum() / float64(len(x))
+}
+
+// Clamp limits every element of x to [lo[i], hi[i]] in place.
+func (x Vector) Clamp(lo, hi Vector) {
+	if len(x) != len(lo) || len(x) != len(hi) {
+		panic("mathx: Clamp length mismatch")
+	}
+	for i := range x {
+		if x[i] < lo[i] {
+			x[i] = lo[i]
+		} else if x[i] > hi[i] {
+			x[i] = hi[i]
+		}
+	}
+}

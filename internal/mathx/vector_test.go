@@ -1,0 +1,149 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVectorDot(t *testing.T) {
+	x := Vector{1, 2, 3}
+	y := Vector{4, -5, 6}
+	if got := x.Dot(y); got != 12 {
+		t.Fatalf("Dot = %v, want 12", got)
+	}
+}
+
+func TestVectorDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths should panic")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestVectorAddSubScale(t *testing.T) {
+	x := Vector{1, 2}
+	y := Vector{3, 5}
+	if got := x.Add(y); got[0] != 4 || got[1] != 7 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := y.Sub(x); got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := x.Scale(-2); got[0] != -2 || got[1] != -4 {
+		t.Fatalf("Scale = %v", got)
+	}
+}
+
+func TestVectorAXPY(t *testing.T) {
+	x := Vector{1, 1, 1}
+	x.AXPY(2, Vector{1, 2, 3})
+	want := Vector{3, 5, 7}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("AXPY = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestVectorNorm2(t *testing.T) {
+	if got := (Vector{3, 4}).Norm2(); !almostEq(got, 5, 1e-12) {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	if got := (Vector{}).Norm2(); got != 0 {
+		t.Fatalf("empty Norm2 = %v, want 0", got)
+	}
+	// Scaled accumulation must not overflow.
+	big := Constant(4, 1e200)
+	if got := big.Norm2(); math.IsInf(got, 0) || !almostEq(got, 2e200, 1e188) {
+		t.Fatalf("Norm2 of large vector = %v", got)
+	}
+}
+
+func TestVectorNormInf(t *testing.T) {
+	if got := (Vector{-7, 3, 5}).NormInf(); got != 7 {
+		t.Fatalf("NormInf = %v, want 7", got)
+	}
+}
+
+func TestVectorSumMean(t *testing.T) {
+	x := Vector{1, 2, 3, 4}
+	if x.Sum() != 10 {
+		t.Fatalf("Sum = %v", x.Sum())
+	}
+	if x.Mean() != 2.5 {
+		t.Fatalf("Mean = %v", x.Mean())
+	}
+	if (Vector{}).Mean() != 0 {
+		t.Fatal("empty Mean should be 0")
+	}
+}
+
+func TestVectorClamp(t *testing.T) {
+	x := Vector{-1, 0.5, 2}
+	x.Clamp(Constant(3, 0), Constant(3, 1))
+	want := Vector{0, 0.5, 1}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("Clamp = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestVectorCloneIndependence(t *testing.T) {
+	x := Vector{1, 2}
+	y := x.Clone()
+	y[0] = 99
+	if x[0] != 1 {
+		t.Fatal("Clone must not alias")
+	}
+}
+
+// Property: Cauchy–Schwarz |x·y| ≤ ‖x‖‖y‖ for arbitrary vectors.
+func TestVectorCauchySchwarzProperty(t *testing.T) {
+	f := func(a, b [8]float64) bool {
+		x, y := make(Vector, 8), make(Vector, 8)
+		for i := range a {
+			// Bound the magnitude so the product cannot overflow.
+			x[i] = math.Mod(a[i], 1e6)
+			y[i] = math.Mod(b[i], 1e6)
+			if math.IsNaN(x[i]) {
+				x[i] = 0
+			}
+			if math.IsNaN(y[i]) {
+				y[i] = 0
+			}
+		}
+		lhs := math.Abs(x.Dot(y))
+		rhs := x.Norm2() * y.Norm2()
+		return lhs <= rhs*(1+1e-9)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: triangle inequality ‖x+y‖ ≤ ‖x‖+‖y‖.
+func TestVectorTriangleInequalityProperty(t *testing.T) {
+	f := func(a, b [6]float64) bool {
+		x, y := make(Vector, 6), make(Vector, 6)
+		for i := range a {
+			x[i] = math.Mod(a[i], 1e6)
+			y[i] = math.Mod(b[i], 1e6)
+			if math.IsNaN(x[i]) {
+				x[i] = 0
+			}
+			if math.IsNaN(y[i]) {
+				y[i] = 0
+			}
+		}
+		return x.Add(y).Norm2() <= x.Norm2()+y.Norm2()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

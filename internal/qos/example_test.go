@@ -1,0 +1,21 @@
+package qos_test
+
+import (
+	"fmt"
+
+	"sprintcon/internal/qos"
+)
+
+// The latency cost of throttling an interactive core: the same request
+// stream at half frequency saturates the queue.
+func ExampleConfig_ResponseTime() {
+	cfg := qos.DefaultConfig()
+	for _, f := range []float64{1.0, 0.7, 0.5} {
+		ms, sat := cfg.ResponseTime(0.5, f)
+		fmt.Printf("f=%.1f -> %.0f ms (saturated=%v)\n", f, ms, sat)
+	}
+	// Output:
+	// f=1.0 -> 40 ms (saturated=false)
+	// f=0.7 -> 100 ms (saturated=false)
+	// f=0.5 -> 1000 ms (saturated=true)
+}

@@ -1,0 +1,101 @@
+package qos
+
+import (
+	"errors"
+	"math"
+
+	"sprintcon/internal/stats"
+)
+
+// QueueSummary reports the dynamic (fluid-queue) latency evaluation, which
+// unlike the memoryless Evaluate carries request backlog across ticks: a
+// saturated period hurts until the queue drains, as in a real service.
+type QueueSummary struct {
+	MeanMs      float64
+	P99Ms       float64
+	SLOViolFrac float64
+	// MaxBacklogS is the deepest backlog in core-seconds of work.
+	MaxBacklogS float64
+	// DrainedS is the time between the end of the last overload episode
+	// (ticks where arrivals exceeded service) and the queue returning to
+	// empty — the user-visible recovery tail. 0 if the queue never
+	// filled; +Inf if it never drained by series end.
+	DrainedS float64
+}
+
+// EvaluateQueue runs a discrete-time fluid queue over parallel demand and
+// normalized-frequency series with step dtS:
+//
+//	backlog' = max(0, backlog + (demand − freqNorm)·dt)
+//
+// (work arrives at `demand` core-seconds per second and is served at
+// `freqNorm`). Per-tick latency is the M/M/1 time at the current
+// utilization plus the time to drain the backlog ahead of a new arrival.
+func (c Config) EvaluateQueue(demand, freqNorm []float64, dtS float64) (QueueSummary, error) {
+	if err := c.Validate(); err != nil {
+		return QueueSummary{}, err
+	}
+	if len(demand) != len(freqNorm) || len(demand) == 0 {
+		return QueueSummary{}, errors.New("qos: need equal non-empty series")
+	}
+	if dtS <= 0 {
+		return QueueSummary{}, errors.New("qos: dtS must be positive")
+	}
+
+	var backlog float64 // core-seconds of queued work
+	lat := make([]float64, len(demand))
+	var viol int
+	out := QueueSummary{}
+	everFilled := false
+	lastOverloadEnd := 0.0 // time the most recent arrival-overload ended
+	drainAfter := math.Inf(1)
+	for i := range demand {
+		f := freqNorm[i]
+		base, _ := c.ResponseTime(demand[i], f)
+		ms := base
+		if backlog > 0 && f > 0 {
+			ms += backlog / f * 1000
+		}
+		if ms > c.SaturationCapMs {
+			ms = c.SaturationCapMs
+		}
+		lat[i] = ms
+		if ms > c.SLOMs {
+			viol++
+		}
+
+		if demand[i] > f {
+			lastOverloadEnd = float64(i+1) * dtS
+		}
+		backlog += (demand[i] - f) * dtS
+		if backlog < 0 {
+			backlog = 0
+		}
+		if backlog > out.MaxBacklogS {
+			out.MaxBacklogS = backlog
+		}
+		if backlog > 0 {
+			everFilled = true
+			drainAfter = math.Inf(1)
+		} else if everFilled && math.IsInf(drainAfter, 1) {
+			drainAfter = float64(i+1)*dtS - lastOverloadEnd
+		}
+	}
+	switch {
+	case !everFilled:
+		out.DrainedS = 0
+	case backlog > 0:
+		out.DrainedS = math.Inf(1)
+	default:
+		out.DrainedS = drainAfter
+	}
+
+	p99, err := stats.Percentile(lat, 0.99)
+	if err != nil {
+		return QueueSummary{}, err
+	}
+	out.MeanMs = stats.Mean(lat)
+	out.P99Ms = p99
+	out.SLOViolFrac = float64(viol) / float64(len(lat))
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package qos
+
+import (
+	"math"
+	"testing"
+)
+
+func repeatF(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestEvaluateQueueNoBacklogUnderCapacity(t *testing.T) {
+	c := DefaultConfig()
+	s, err := c.EvaluateQueue(repeatF(0.5, 100), repeatF(1.0, 100), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxBacklogS != 0 {
+		t.Fatalf("backlog %v under capacity", s.MaxBacklogS)
+	}
+	// Latency matches the memoryless model when there is no backlog.
+	want, _ := c.ResponseTime(0.5, 1.0)
+	if math.Abs(s.MeanMs-want) > 1e-9 {
+		t.Fatalf("mean %v, want %v", s.MeanMs, want)
+	}
+	if s.DrainedS != 0 {
+		t.Fatalf("DrainedS = %v for an always-empty queue", s.DrainedS)
+	}
+}
+
+func TestEvaluateQueueBacklogAccumulatesAndDrains(t *testing.T) {
+	c := DefaultConfig()
+	// 60 s of 20 % overload, then 120 s of 40 % spare capacity.
+	demand := append(repeatF(1.2, 60), repeatF(0.6, 120)...)
+	freq := repeatF(1.0, 180)
+	s, err := c.EvaluateQueue(demand, freq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Backlog peaks at 0.2·60 = 12 core-seconds.
+	if math.Abs(s.MaxBacklogS-12) > 1e-9 {
+		t.Fatalf("max backlog %v, want 12", s.MaxBacklogS)
+	}
+	// Draining 12 s at 0.4 spare takes 30 s.
+	if math.Abs(s.DrainedS-30) > 1.5 {
+		t.Fatalf("drained in %v s, want ≈30", s.DrainedS)
+	}
+	// Violations persist beyond the overload window (the backlog's tail).
+	if s.SLOViolFrac <= 60.0/180.0 {
+		t.Fatalf("SLO violations %v should exceed the overload window fraction", s.SLOViolFrac)
+	}
+}
+
+func TestEvaluateQueueNeverDrains(t *testing.T) {
+	c := DefaultConfig()
+	s, err := c.EvaluateQueue(repeatF(1.2, 50), repeatF(1.0, 50), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(s.DrainedS, 1) {
+		t.Fatalf("permanently overloaded queue reported drain %v", s.DrainedS)
+	}
+	if s.P99Ms != c.SaturationCapMs {
+		t.Fatalf("P99 %v, want pegged at the cap", s.P99Ms)
+	}
+}
+
+func TestEvaluateQueueValidation(t *testing.T) {
+	c := DefaultConfig()
+	if _, err := c.EvaluateQueue(nil, nil, 1); err == nil {
+		t.Fatal("empty series should error")
+	}
+	if _, err := c.EvaluateQueue(repeatF(1, 3), repeatF(1, 2), 1); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := c.EvaluateQueue(repeatF(1, 3), repeatF(1, 3), 0); err == nil {
+		t.Fatal("zero dt should error")
+	}
+	bad := c
+	bad.BaseServiceMs = 0
+	if _, err := bad.EvaluateQueue(repeatF(1, 3), repeatF(1, 3), 1); err == nil {
+		t.Fatal("invalid config should error")
+	}
+}
+
+// An outage (freq 0) pins latency at the cap and accumulates the full
+// demand as backlog.
+func TestEvaluateQueueOutage(t *testing.T) {
+	c := DefaultConfig()
+	demand := repeatF(0.5, 20)
+	freq := append(repeatF(0.0, 10), repeatF(1.0, 10)...)
+	s, err := c.EvaluateQueue(demand, freq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxBacklogS < 4.9 {
+		t.Fatalf("outage backlog %v, want ≈5", s.MaxBacklogS)
+	}
+	if s.P99Ms != c.SaturationCapMs {
+		t.Fatalf("P99 %v during outage", s.P99Ms)
+	}
+}

@@ -1,0 +1,209 @@
+// Package qp solves the box-constrained convex quadratic programs that arise
+// from SprintCon's model-predictive server power controller (paper Eq. 8–9):
+//
+//	minimize   ½·xᵀHx + gᵀx
+//	subject to lo ≤ x ≤ hi   (element-wise)
+//
+// H must be symmetric positive definite (the MPC cost is strictly convex
+// because the control-penalty weights are strictly positive). The solver
+// first tries the unconstrained Cholesky solution; if it violates the box it
+// falls back to cyclic projected coordinate descent, which converges to the
+// unique minimizer for strictly convex quadratics. Problem sizes here are at
+// most a few hundred variables (one per batch CPU core on the rack).
+package qp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sprintcon/internal/mathx"
+)
+
+// Problem describes a box-constrained quadratic program.
+type Problem struct {
+	H  *mathx.Matrix // symmetric positive definite cost matrix
+	G  mathx.Vector  // linear cost term
+	Lo mathx.Vector  // element-wise lower bounds
+	Hi mathx.Vector  // element-wise upper bounds
+}
+
+// Options controls solver effort.
+type Options struct {
+	// MaxSweeps bounds the number of full coordinate-descent sweeps.
+	// Zero selects the default (500).
+	MaxSweeps int
+	// Tol is the KKT residual tolerance. Zero selects the default (1e-9,
+	// scaled by the magnitude of the gradient).
+	Tol float64
+}
+
+// Result reports the solution of a Problem.
+type Result struct {
+	X         mathx.Vector // minimizer
+	Objective float64      // ½xᵀHx + gᵀx at X
+	Sweeps    int          // coordinate-descent sweeps used (0 if unconstrained shortcut hit)
+	Converged bool         // KKT residual below tolerance
+}
+
+const (
+	defaultMaxSweeps = 500
+	defaultTol       = 1e-9
+)
+
+var (
+	// ErrDimension reports inconsistent problem dimensions.
+	ErrDimension = errors.New("qp: inconsistent problem dimensions")
+	// ErrBounds reports lo[i] > hi[i] for some i.
+	ErrBounds = errors.New("qp: lower bound exceeds upper bound")
+	// ErrNotConvex reports a non-positive diagonal element of H.
+	ErrNotConvex = errors.New("qp: H has a non-positive diagonal element")
+)
+
+// Validate checks the problem for structural errors.
+func (p Problem) Validate() error {
+	n := len(p.G)
+	if p.H == nil || p.H.Rows() != n || p.H.Cols() != n || len(p.Lo) != n || len(p.Hi) != n {
+		return fmt.Errorf("%w: n=%d H=%v lo=%d hi=%d", ErrDimension, n, shape(p.H), len(p.Lo), len(p.Hi))
+	}
+	for i := 0; i < n; i++ {
+		if p.Lo[i] > p.Hi[i] {
+			return fmt.Errorf("%w: index %d (%g > %g)", ErrBounds, i, p.Lo[i], p.Hi[i])
+		}
+		if p.H.At(i, i) <= 0 {
+			return fmt.Errorf("%w: index %d (%g)", ErrNotConvex, i, p.H.At(i, i))
+		}
+	}
+	return nil
+}
+
+func shape(m *mathx.Matrix) string {
+	if m == nil {
+		return "nil"
+	}
+	return fmt.Sprintf("%dx%d", m.Rows(), m.Cols())
+}
+
+// Objective evaluates ½xᵀHx + gᵀx.
+func (p Problem) Objective(x mathx.Vector) float64 {
+	hx := p.H.MulVec(x)
+	return 0.5*x.Dot(hx) + p.G.Dot(x)
+}
+
+// Gradient evaluates Hx + g.
+func (p Problem) Gradient(x mathx.Vector) mathx.Vector {
+	grad := p.H.MulVec(x)
+	grad.AXPY(1, p.G)
+	return grad
+}
+
+// KKTResidual returns the maximum violation of the first-order optimality
+// conditions for the box-constrained problem at x: at a lower bound the
+// gradient may be positive, at an upper bound negative, and in the interior
+// it must vanish.
+func (p Problem) KKTResidual(x mathx.Vector) float64 {
+	grad := p.Gradient(x)
+	var r float64
+	for i, gi := range grad {
+		var v float64
+		switch {
+		case x[i] <= p.Lo[i]:
+			v = math.Max(0, -gi) // must be ≥ 0 to be optimal
+		case x[i] >= p.Hi[i]:
+			v = math.Max(0, gi) // must be ≤ 0 to be optimal
+		default:
+			v = math.Abs(gi)
+		}
+		if v > r {
+			r = v
+		}
+	}
+	return r
+}
+
+// Solve minimizes the problem. The returned Result is valid even when
+// Converged is false (best iterate so far); an error is returned only for
+// structurally invalid problems.
+func Solve(p Problem, opt Options) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	maxSweeps := opt.MaxSweeps
+	if maxSweeps <= 0 {
+		maxSweeps = defaultMaxSweeps
+	}
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = defaultTol
+	}
+	// Scale the tolerance to the problem so watts-sized and
+	// gigahertz-sized formulations behave alike.
+	scale := 1 + p.G.NormInf()
+	tol *= scale
+
+	n := len(p.G)
+	if n == 0 {
+		return Result{X: mathx.Vector{}, Converged: true}, nil
+	}
+
+	// Fast path: unconstrained minimizer, if it respects the box.
+	if x, err := p.H.SolveSPD(p.G.Scale(-1)); err == nil {
+		inBox := true
+		for i := range x {
+			if x[i] < p.Lo[i]-1e-12 || x[i] > p.Hi[i]+1e-12 {
+				inBox = false
+				break
+			}
+		}
+		if inBox {
+			x.Clamp(p.Lo, p.Hi)
+			return Result{X: x, Objective: p.Objective(x), Converged: true}, nil
+		}
+	}
+
+	// Projected cyclic coordinate descent. Maintain grad = Hx + g
+	// incrementally: an update Δ to x_i adds Δ·H[:,i] to the gradient.
+	x := p.Lo.Clone()
+	// Start from the box-projected unconstrained guess when available,
+	// otherwise from the projection of 0.
+	for i := range x {
+		x[i] = math.Min(math.Max(0, p.Lo[i]), p.Hi[i])
+	}
+	grad := p.Gradient(x)
+
+	sweeps := 0
+	for ; sweeps < maxSweeps; sweeps++ {
+		var maxMove float64
+		for i := 0; i < n; i++ {
+			hii := p.H.At(i, i)
+			xi := x[i] - grad[i]/hii
+			if xi < p.Lo[i] {
+				xi = p.Lo[i]
+			} else if xi > p.Hi[i] {
+				xi = p.Hi[i]
+			}
+			d := xi - x[i]
+			if d == 0 {
+				continue
+			}
+			x[i] = xi
+			// grad += d * H[:,i] (H symmetric, so use row i).
+			grad.AXPY(d, p.H.Row(i))
+			if a := math.Abs(d); a > maxMove {
+				maxMove = a
+			}
+		}
+		if p.KKTResidual(x) <= tol {
+			return Result{X: x, Objective: p.Objective(x), Sweeps: sweeps + 1, Converged: true}, nil
+		}
+		if maxMove == 0 {
+			break // stationary but KKT above tol: numerical floor reached
+		}
+	}
+	return Result{
+		X:         x,
+		Objective: p.Objective(x),
+		Sweeps:    sweeps,
+		Converged: p.KKTResidual(x) <= tol*10,
+	}, nil
+}

@@ -1,0 +1,180 @@
+// Package sched provides the batch-job front end a production SprintCon
+// deployment needs: the paper assumes each batch core already holds a job
+// with a deadline "in minutes after being postponed" (Section I), which
+// implies a queue and an admission decision upstream. This package supplies
+// both: an EDF (earliest-deadline-first) dispatch queue with release times,
+// and a fluid-schedulability admission test that decides — given the rack's
+// batch cores and the average frequency the power budget sustains — whether
+// a new job can be accepted without endangering the existing deadlines.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sprintcon/internal/workload"
+)
+
+// Job is a schedulable batch job.
+type Job struct {
+	// ID names the job (unique within a queue).
+	ID string
+	// Spec is the workload model (progress/DVFS behaviour).
+	Spec workload.BatchSpec
+	// ReleaseS is the earliest start time; DeadlineS the absolute
+	// completion deadline.
+	ReleaseS  float64
+	DeadlineS float64
+	// WorkScale multiplies Spec.PeakSeconds (≤ 0 means 1).
+	WorkScale float64
+}
+
+// WorkPeakS returns the job's work in peak-seconds.
+func (j Job) WorkPeakS() float64 {
+	scale := j.WorkScale
+	if scale <= 0 {
+		scale = 1
+	}
+	return j.Spec.PeakSeconds * scale
+}
+
+// WallSecondsAt returns the job's execution time at frequency f.
+func (j Job) WallSecondsAt(f, fmax float64) float64 {
+	r := j.Spec.Rate(f, fmax)
+	if r <= 0 {
+		return 0
+	}
+	return j.WorkPeakS() / r
+}
+
+// Validate reports structural errors in the job.
+func (j Job) Validate() error {
+	if j.ID == "" {
+		return errors.New("sched: job needs an ID")
+	}
+	if err := j.Spec.Validate(); err != nil {
+		return err
+	}
+	if j.DeadlineS <= j.ReleaseS {
+		return fmt.Errorf("sched: job %s: deadline %g not after release %g", j.ID, j.DeadlineS, j.ReleaseS)
+	}
+	return nil
+}
+
+// Queue is an EDF dispatch queue. Not safe for concurrent use.
+type Queue struct {
+	pending []Job
+	ids     map[string]bool
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue {
+	return &Queue{ids: make(map[string]bool)}
+}
+
+// Len returns the number of pending jobs.
+func (q *Queue) Len() int { return len(q.pending) }
+
+// Pending returns a copy of the pending jobs.
+func (q *Queue) Pending() []Job {
+	out := make([]Job, len(q.pending))
+	copy(out, q.pending)
+	return out
+}
+
+// Add enqueues a job without admission control.
+func (q *Queue) Add(j Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	if q.ids[j.ID] {
+		return fmt.Errorf("sched: duplicate job ID %q", j.ID)
+	}
+	q.ids[j.ID] = true
+	q.pending = append(q.pending, j)
+	return nil
+}
+
+// PopEDF removes and returns the released job with the earliest deadline
+// (ties broken by ID for determinism). ok is false when nothing is
+// released at time now.
+func (q *Queue) PopEDF(now float64) (Job, bool) {
+	best := -1
+	for i, j := range q.pending {
+		if j.ReleaseS > now {
+			continue
+		}
+		if best < 0 ||
+			j.DeadlineS < q.pending[best].DeadlineS ||
+			(j.DeadlineS == q.pending[best].DeadlineS && j.ID < q.pending[best].ID) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Job{}, false
+	}
+	j := q.pending[best]
+	q.pending = append(q.pending[:best], q.pending[best+1:]...)
+	delete(q.ids, j.ID)
+	return j, true
+}
+
+// Feasible applies the fluid (processor-sharing) schedulability test: for
+// every deadline d among the jobs, the total wall-time demand of jobs due
+// by d — each converted to wall seconds at the sustainable frequency f —
+// must fit into cores·(d − now) machine-seconds, counting release times.
+// This is exact for the fluid/migrating model (McNaughton) and a close,
+// slightly optimistic bound for non-migrating EDF; the caller should keep
+// a margin (the power load allocator's DeadlineMargin plays that role).
+// The returned reason names the first violated deadline.
+func Feasible(now float64, jobs []Job, cores int, fGHz, fmaxGHz float64) (bool, string) {
+	if cores <= 0 {
+		return false, "no cores"
+	}
+	sorted := make([]Job, len(jobs))
+	copy(sorted, jobs)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].DeadlineS < sorted[b].DeadlineS })
+	for i := range sorted {
+		d := sorted[i].DeadlineS
+		if d <= now {
+			return false, fmt.Sprintf("job %s deadline already passed", sorted[i].ID)
+		}
+		var demand float64
+		for _, j := range sorted[:i+1] {
+			w := j.WallSecondsAt(fGHz, fmaxGHz)
+			if w == 0 {
+				return false, fmt.Sprintf("job %s cannot run at %g GHz", j.ID, fGHz)
+			}
+			// A job released in the future can only demand time
+			// after its release.
+			demand += w
+			if avail := d - j.ReleaseS; avail < w && j.ReleaseS > now {
+				return false, fmt.Sprintf("job %s cannot fit between release and deadline", j.ID)
+			}
+		}
+		if demand > float64(cores)*(d-now) {
+			return false, fmt.Sprintf("demand %.0fs exceeds %d cores x %.0fs by deadline %.0f",
+				demand, cores, d-now, d)
+		}
+	}
+	return true, ""
+}
+
+// Admit enqueues the job only if the queue (plus the job) remains feasible
+// on the given capacity; the boolean reports the decision and reason the
+// rejection cause.
+func (q *Queue) Admit(now float64, j Job, cores int, fGHz, fmaxGHz float64) (bool, string, error) {
+	if err := j.Validate(); err != nil {
+		return false, "", err
+	}
+	if q.ids[j.ID] {
+		return false, "", fmt.Errorf("sched: duplicate job ID %q", j.ID)
+	}
+	candidate := append(q.Pending(), j)
+	ok, reason := Feasible(now, candidate, cores, fGHz, fmaxGHz)
+	if !ok {
+		return false, reason, nil
+	}
+	return true, "", q.Add(j)
+}

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Event is one timestamped occurrence during a sprint: a supervisor mode
+// transition, a breaker trip or reclose, an outage boundary, a budget
+// change. The event log is how an operator reconstructs what a controller
+// did and why.
+type Event struct {
+	T    float64 // simulation time in seconds
+	Kind string  // stable machine-readable kind, e.g. "cb-trip"
+	Msg  string  // human-readable detail
+}
+
+// String formats the event for logs.
+func (e Event) String() string {
+	return fmt.Sprintf("[%7.1fs] %-14s %s", e.T, e.Kind, e.Msg)
+}
+
+// EventLog collects events during a run. The engine stamps the current
+// simulation time; policies append through Logf without tracking time
+// themselves. The zero value is unusable; the engine provides one in Env.
+type EventLog struct {
+	now    float64
+	events []Event
+}
+
+// NewEventLog returns an empty log.
+func NewEventLog() *EventLog { return &EventLog{} }
+
+// SetNow stamps the time attached to subsequent events (engine use).
+func (l *EventLog) SetNow(t float64) { l.now = t }
+
+// Logf appends an event at the current simulation time.
+func (l *EventLog) Logf(kind, format string, args ...interface{}) {
+	l.events = append(l.events, Event{T: l.now, Kind: kind, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Events returns the recorded events in time order.
+func (l *EventLog) Events() []Event {
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// OfKind returns the events with the given kind, in time order.
+func (l *EventLog) OfKind(kind string) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Job names one simulation of a parameter sweep.
+type Job struct {
+	// Key identifies the job in the result map (e.g. "SprintCon@540s").
+	Key string
+	// Scenario and Policy define the run. Policies must not be shared
+	// between jobs — they carry per-run state.
+	Scenario Scenario
+	Policy   Policy
+}
+
+// RunMany executes the jobs concurrently (bounded by GOMAXPROCS) and
+// returns results keyed by Job.Key. Each simulation is fully independent —
+// its own rack, breaker, UPS and trace — so the sweep parallelizes
+// embarrassingly; this is what makes the full experiment suite fast enough
+// to run in CI. The first error aborts the sweep.
+func RunMany(jobs []Job) (map[string]*Result, error) {
+	if len(jobs) == 0 {
+		return map[string]*Result{}, nil
+	}
+	seen := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		if j.Key == "" {
+			return nil, fmt.Errorf("sim: job with empty key")
+		}
+		if seen[j.Key] {
+			return nil, fmt.Errorf("sim: duplicate job key %q", j.Key)
+		}
+		seen[j.Key] = true
+	}
+
+	type outcome struct {
+		key string
+		res *Result
+		err error
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	results := make(chan outcome, len(jobs))
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j Job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := Run(j.Scenario, j.Policy)
+			results <- outcome{key: j.Key, res: res, err: err}
+		}(j)
+	}
+	wg.Wait()
+	close(results)
+
+	out := make(map[string]*Result, len(jobs))
+	for o := range results {
+		if o.err != nil {
+			return nil, fmt.Errorf("sim: job %s: %w", o.key, o.err)
+		}
+		out[o.key] = o.res
+	}
+	return out, nil
+}

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestRunManyMatchesSequential(t *testing.T) {
+	scn := shortScenario()
+	seq, err := Run(scn, &stubPolicy{name: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jobs := []Job{
+		{Key: "a", Scenario: scn, Policy: &stubPolicy{name: "a"}},
+		{Key: "b", Scenario: scn, Policy: &stubPolicy{name: "b", upsReq: 300}},
+		{Key: "c", Scenario: scn, Policy: &stubPolicy{name: "c"}},
+	}
+	got, err := RunMany(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("results = %d", len(got))
+	}
+	// Determinism: the concurrent run of job "a" matches the sequential run.
+	if got["a"].EnergyTotalWh != seq.EnergyTotalWh || got["a"].UPSDoD != seq.UPSDoD {
+		t.Fatal("concurrent result differs from sequential")
+	}
+	// The UPS-using job actually differs.
+	if got["b"].UPSDischargedWh == 0 {
+		t.Fatal("job b should have discharged the UPS")
+	}
+}
+
+func TestRunManyValidation(t *testing.T) {
+	scn := shortScenario()
+	if _, err := RunMany([]Job{{Key: "", Scenario: scn, Policy: &stubPolicy{name: "x"}}}); err == nil {
+		t.Fatal("empty key should error")
+	}
+	if _, err := RunMany([]Job{
+		{Key: "dup", Scenario: scn, Policy: &stubPolicy{name: "x"}},
+		{Key: "dup", Scenario: scn, Policy: &stubPolicy{name: "y"}},
+	}); err == nil {
+		t.Fatal("duplicate keys should error")
+	}
+	empty, err := RunMany(nil)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("nil jobs: %v, %v", empty, err)
+	}
+	bad := scn
+	bad.DurationS = 0
+	if _, err := RunMany([]Job{{Key: "bad", Scenario: bad, Policy: &stubPolicy{name: "x"}}}); err == nil {
+		t.Fatal("invalid scenario should propagate")
+	}
+}

@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serializes the scenario as indented JSON — the config-as-data
+// format the cmd tools read with -scenario. A replayed Trace is not
+// serialized (reference it by CSV file instead).
+func (s Scenario) WriteJSON(w io.Writer) error {
+	s.Trace = nil
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ScenarioFromJSON parses and validates a scenario. Unknown fields are
+// rejected so typos in config files fail loudly instead of silently using
+// defaults.
+func ScenarioFromJSON(r io.Reader) (Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("sim: scenario JSON: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sprintcon/internal/workload"
+)
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	orig := DefaultScenario()
+	orig.BatchDeadlineS = 555
+	orig.Rack.NumServers = 8
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ScenarioFromJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BatchDeadlineS != 555 || got.Rack.NumServers != 8 {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if got.Rack.ServerParams.PStates.Len() != orig.Rack.ServerParams.PStates.Len() {
+		t.Fatal("P-state table lost in round trip")
+	}
+	if got.Rack.ServerParams.PStates.Max() != 2.0 {
+		t.Fatalf("P-state max = %v", got.Rack.ServerParams.PStates.Max())
+	}
+	// The loaded scenario actually runs.
+	got.DurationS = 30
+	got.BurstDurationS = 30
+	got.BatchDeadlineS = 25
+	if _, err := Run(got, &stubPolicy{name: "x"}); err != nil {
+		t.Fatalf("loaded scenario does not run: %v", err)
+	}
+}
+
+func TestScenarioFromJSONRejectsBadInput(t *testing.T) {
+	if _, err := ScenarioFromJSON(strings.NewReader("{")); err == nil {
+		t.Fatal("truncated JSON should error")
+	}
+	if _, err := ScenarioFromJSON(strings.NewReader(`{"NoSuchField": 1}`)); err == nil {
+		t.Fatal("unknown fields should be rejected")
+	}
+	// Structurally valid JSON but an invalid scenario.
+	var buf bytes.Buffer
+	s := DefaultScenario()
+	s.DurationS = -1
+	enc := s
+	if err := enc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScenarioFromJSON(&buf); err == nil {
+		t.Fatal("invalid scenario should fail validation")
+	}
+	// Broken P-state list.
+	bad := strings.Replace(jsonOf(t, DefaultScenario()), `[
+        0.4,`, `[
+        9.4,`, 1)
+	if _, err := ScenarioFromJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("non-ascending P-states should be rejected")
+	}
+}
+
+func jsonOf(t *testing.T, s Scenario) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestScenarioJSONOmitsTrace(t *testing.T) {
+	s := DefaultScenario()
+	tr, err := workload.GenInteractive(s.Interactive, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Trace = tr
+	js := jsonOf(t, s)
+	if strings.Contains(js, `"Demand"`) {
+		t.Fatal("trace data must not be serialized")
+	}
+}

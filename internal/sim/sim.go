@@ -1,0 +1,474 @@
+// Package sim is the discrete-time simulation engine of the evaluation
+// (paper Section VI-A): it assembles the 16-server rack, circuit breaker,
+// UPS and workload traces, advances the physics each tick, applies a
+// sprinting policy's actuation, and collects the metrics every figure of
+// the paper is built from (power curves, frequency curves, DoD, trips,
+// outage time, deadline compliance).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sprintcon/internal/breaker"
+	"sprintcon/internal/rack"
+	"sprintcon/internal/ups"
+	"sprintcon/internal/workload"
+)
+
+// Env bundles the physical system a policy senses and actuates.
+type Env struct {
+	Rack    *rack.Rack
+	Breaker *breaker.Breaker
+	UPS     *ups.UPS
+	Trace   *workload.InteractiveTrace
+	// Events is the run's structured event log; policies may append
+	// through Logf (mode changes, budget moves), and the engine records
+	// trips, recloses and outage boundaries.
+	Events *EventLog
+}
+
+// Snapshot is the measurement set a policy sees at the start of a tick.
+// All power values are from the previous tick (sensors report history, not
+// the future).
+type Snapshot struct {
+	Now float64
+	Dt  float64
+	// MeasuredTotalW is the rack power monitor's (noisy) last reading.
+	MeasuredTotalW float64
+	// CBPowerW is the power the breaker conducted last tick.
+	CBPowerW float64
+	// UPSPowerW is the battery power delivered last tick.
+	UPSPowerW float64
+	// CBThermalFraction, CBNearTrip and CBTripped report breaker state.
+	CBThermalFraction float64
+	CBNearTrip        bool
+	CBTripped         bool
+	// UPSSoC and UPSDepleted report battery state.
+	UPSSoC      float64
+	UPSDepleted bool
+	// Outage reports that the rack lost power entirely last tick.
+	Outage bool
+}
+
+// Policy is a sprinting power-management strategy. Implementations actuate
+// the rack (frequencies) inside Tick and return the UPS discharge request
+// for the coming tick.
+type Policy interface {
+	// Name identifies the policy in results.
+	Name() string
+	// Start binds the policy to a fresh environment at sprint begin.
+	Start(env *Env, scn Scenario) error
+	// Tick runs one control step and returns the requested UPS
+	// discharge power for this tick (0 for none).
+	Tick(env *Env, s Snapshot) (upsRequestW float64)
+}
+
+// TargetReporter is optionally implemented by policies that maintain
+// explicit power targets; the engine records them into the result series
+// (needed for the paper's Fig. 6 "CB budget power" curve).
+type TargetReporter interface {
+	Targets(now float64) (pcbW, pbatchW float64)
+}
+
+// Scenario configures one simulation run.
+type Scenario struct {
+	// DurationS is the simulated time; DtS the physics step.
+	DurationS float64
+	DtS       float64
+	// BurstDurationS is the announced workload-burst duration the policy
+	// plans for (paper: T_burst).
+	BurstDurationS float64
+	// BatchDeadlineS is the absolute deadline for every batch job
+	// (paper Fig. 8: 9, 12, 15 minutes).
+	BatchDeadlineS float64
+	// WorkFillMin/Max size each job's work as a fraction of
+	// WorkReferenceS: a fill of 0.58 with the reference equal to the
+	// deadline needs average rate 0.58 to finish exactly on time.
+	WorkFillMin, WorkFillMax float64
+	// WorkReferenceS anchors job sizes so that sweeping the deadline
+	// (paper Fig. 8: 9/12/15 min) varies urgency over the *same* work
+	// rather than resizing the jobs.
+	WorkReferenceS float64
+	// AmbientBaseC and AmbientSwingC drive the fan disturbance.
+	AmbientBaseC, AmbientSwingC float64
+	// Rack, breaker, UPS and interactive-trace configurations.
+	Rack        rack.Config
+	Breaker     breaker.Config
+	UPS         ups.Config
+	Interactive workload.InteractiveConfig
+	// Trace, when non-nil, replaces the generated interactive trace —
+	// e.g. a production trace loaded with workload.TraceFromCSV.
+	Trace *workload.InteractiveTrace
+}
+
+// DefaultScenario returns the paper's evaluation setup: a 15-minute sprint
+// on the 16-server rack with 12-minute batch deadlines.
+func DefaultScenario() Scenario {
+	return Scenario{
+		DurationS:      900,
+		DtS:            1,
+		BurstDurationS: 900,
+		BatchDeadlineS: 720,
+		WorkFillMin:    0.34,
+		WorkFillMax:    0.45,
+		WorkReferenceS: 720,
+		AmbientBaseC:   25,
+		AmbientSwingC:  3,
+		Rack:           rack.DefaultConfig(),
+		Breaker:        breaker.DefaultConfig(),
+		UPS:            ups.DefaultConfig(),
+		Interactive:    workload.DefaultInteractiveConfig(),
+	}
+}
+
+// Validate reports structural errors in the scenario.
+func (s Scenario) Validate() error {
+	switch {
+	case s.DurationS <= 0 || s.DtS <= 0:
+		return errors.New("sim: duration and dt must be positive")
+	case s.DtS > s.DurationS:
+		return errors.New("sim: dt exceeds duration")
+	case s.BurstDurationS <= 0:
+		return errors.New("sim: burst duration must be positive")
+	case s.BatchDeadlineS <= 0:
+		return errors.New("sim: batch deadline must be positive")
+	case s.WorkFillMin <= 0 || s.WorkFillMax < s.WorkFillMin || s.WorkFillMax > 1:
+		return errors.New("sim: need 0 < WorkFillMin ≤ WorkFillMax ≤ 1")
+	case s.WorkReferenceS <= 0:
+		return errors.New("sim: WorkReferenceS must be positive")
+	}
+	if err := s.Rack.Validate(); err != nil {
+		return err
+	}
+	if err := s.Breaker.Validate(); err != nil {
+		return err
+	}
+	if err := s.UPS.Validate(); err != nil {
+		return err
+	}
+	return s.Interactive.Validate()
+}
+
+// Series holds the per-tick time series of one run.
+type Series struct {
+	DtS       float64
+	Time      []float64
+	TotalW    []float64 // rack power
+	CBW       []float64 // breaker-conducted power
+	UPSW      []float64 // battery-delivered power
+	PCbW      []float64 // policy's CB budget (NaN if not reported)
+	PBatchW   []float64 // policy's batch budget (NaN if not reported)
+	FreqInter []float64 // mean normalized interactive frequency (0 in outage)
+	FreqBatch []float64 // mean normalized batch frequency (0 in outage)
+	SoC       []float64 // UPS state of charge
+	Demand    []float64 // interactive demand fraction offered by the trace
+}
+
+// Result aggregates one run.
+type Result struct {
+	Policy   string
+	Scenario Scenario
+	Series   Series
+
+	// AvgFreqInter/Batch are the time-averaged normalized frequencies
+	// (the paper's Fig. 5/7 headline numbers); outage ticks count as 0.
+	AvgFreqInter float64
+	AvgFreqBatch float64
+
+	CBTrips int
+	OutageS float64
+
+	UPSDoD          float64
+	UPSDischargedWh float64
+
+	JobsTotal          int
+	JobsCompletedOnce  int
+	DeadlineMisses     int
+	MaxCompletionTimeS float64 // latest first completion (+Inf if any job never finished)
+	Jobs               []JobResult
+
+	// CB budget tracking quality (only meaningful for TargetReporters):
+	// fraction of ticks the conducted power exceeded the budget by >1 %,
+	// and the mean absolute tracking error in watts while controlled.
+	CBOverBudgetFrac  float64
+	CBTrackingErrorW  float64
+	EnergyCBWh        float64 // total energy through the breaker
+	EnergyCBOverWh    float64 // breaker energy above its rating
+	EnergyTotalWh     float64 // total rack energy
+	BatchWorkDoneS    float64 // total batch work executed, in peak-seconds
+	InteractiveDemand workload.Stats
+	// Events is the run's structured event log, time-ordered.
+	Events []Event
+}
+
+// JobResult summarizes one batch job's outcome.
+type JobResult struct {
+	Name        string  // benchmark name
+	Core        string  // core reference, e.g. "s3/c5"
+	CompletionS float64 // first completion time (NaN if never)
+	Progress    float64 // progress of the current execution at sim end
+	Missed      bool    // missed its deadline
+}
+
+// NormalizedTimeUse returns the paper's Fig. 8(a) metric: the latest batch
+// first-completion time over the deadline (>1 means a miss; +Inf if some
+// job never completed).
+func (r *Result) NormalizedTimeUse() float64 {
+	return r.MaxCompletionTimeS / r.Scenario.BatchDeadlineS
+}
+
+// Run simulates the scenario under the policy.
+func Run(scn Scenario, p Policy) (*Result, error) {
+	if err := scn.Validate(); err != nil {
+		return nil, err
+	}
+	env, err := BuildEnv(scn)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Start(env, scn); err != nil {
+		return nil, fmt.Errorf("sim: policy %s start: %w", p.Name(), err)
+	}
+
+	res := &Result{Policy: p.Name(), Scenario: scn, MaxCompletionTimeS: math.NaN()}
+	res.InteractiveDemand = env.Trace.Summary()
+	res.Series.DtS = scn.DtS
+
+	reporter, _ := p.(TargetReporter)
+
+	steps := int(math.Round(scn.DurationS / scn.DtS))
+	dt := scn.DtS
+	snap := Snapshot{
+		Dt:             dt,
+		MeasuredTotalW: env.Rack.MeasuredPower(),
+		CBPowerW:       env.Rack.TruePower(),
+		UPSSoC:         env.UPS.SoC(),
+	}
+	outage := false
+	var controlledTicks, overTicks int
+	var trackErrSum float64
+
+	for step := 0; step < steps; step++ {
+		now := float64(step) * dt
+		env.Events.SetNow(now)
+		env.Rack.SetAmbient(scn.AmbientBaseC + scn.AmbientSwingC*math.Sin(2*math.Pi*now/1800))
+
+		if outage {
+			// The rack is dark: breaker cools; nothing executes.
+			env.Breaker.Cool(dt)
+			if env.Breaker.CanReclose() {
+				if err := env.Breaker.Reclose(); err == nil {
+					outage = false
+					env.Events.Logf("cb-reclose", "breaker recovered; rack re-powered")
+				}
+			}
+		}
+		if outage {
+			res.OutageS += dt
+			recordTick(res, reporter, now, 0, 0, 0, env, true)
+			snap = nextSnapshot(now+dt, dt, 0, 0, 0, env, true)
+			continue
+		}
+
+		// Workload arrives; policy senses and actuates.
+		env.Rack.ApplyInteractiveDemand(env.Trace.At(now))
+		snap.Now = now
+		upsReq := p.Tick(env, snap)
+		if upsReq < 0 || math.IsNaN(upsReq) {
+			upsReq = 0
+		}
+
+		pTotal := env.Rack.TruePower()
+		measured := env.Rack.MeasuredPower()
+
+		var cbW, upsW float64
+		if !env.Breaker.Tripped() {
+			upsW = env.UPS.Discharge(upsReq, pTotal, dt)
+			cbW = env.Breaker.Step(pTotal-upsW, dt)
+			if env.Breaker.Tripped() {
+				res.CBTrips++
+				env.Events.Logf("cb-trip", "breaker tripped at %.0f W conducted", cbW)
+			}
+		} else {
+			// Open breaker: cool toward reclose; the UPS must carry
+			// the whole rack or the rack goes dark.
+			env.Breaker.Cool(dt)
+			if env.Breaker.CanReclose() {
+				_ = env.Breaker.Reclose()
+			}
+			upsW = env.UPS.Discharge(pTotal, pTotal, dt)
+			if upsW < pTotal-1e-6 {
+				outage = true
+				env.Events.Logf("outage", "UPS exhausted with the breaker open; rack dark")
+			}
+		}
+
+		if !outage {
+			env.Rack.AdvanceBatch(dt, now)
+		} else {
+			res.OutageS += dt
+		}
+
+		recordTick(res, reporter, now, pTotal, cbW, upsW, env, outage)
+
+		// CB budget tracking quality.
+		if reporter != nil {
+			pcb, _ := reporter.Targets(now)
+			if !math.IsInf(pcb, 1) && !math.IsNaN(pcb) && !outage {
+				controlledTicks++
+				trackErrSum += math.Abs(cbW - pcb)
+				if cbW > pcb*1.01 {
+					overTicks++
+				}
+			}
+		}
+
+		snap = nextSnapshot(now+dt, dt, measured, cbW, upsW, env, outage)
+	}
+
+	finalize(res, env, controlledTicks, overTicks, trackErrSum)
+	return res, nil
+}
+
+// BuildEnv assembles the rack, breaker, UPS, interactive trace and batch
+// jobs of a scenario. Exported for policies' unit tests.
+func BuildEnv(scn Scenario) (*Env, error) {
+	r, err := rack.New(scn.Rack)
+	if err != nil {
+		return nil, err
+	}
+	b, err := breaker.New(scn.Breaker)
+	if err != nil {
+		return nil, err
+	}
+	u, err := ups.New(scn.UPS)
+	if err != nil {
+		return nil, err
+	}
+	tr := scn.Trace
+	if tr == nil {
+		var err error
+		tr, err = workload.GenInteractive(scn.Interactive, scn.DurationS, scn.DtS)
+		if err != nil {
+			return nil, err
+		}
+	}
+	specs := workload.SpecCPU2006()
+	for i, ref := range r.BatchCores() {
+		spec := specs[i%len(specs)]
+		j, err := workload.NewBatchJob(spec, 0, scn.BatchDeadlineS)
+		if err != nil {
+			return nil, err
+		}
+		// Deterministic per-core fill in [WorkFillMin, WorkFillMax]
+		// via the golden-ratio low-discrepancy sequence.
+		frac := math.Mod(float64(i)*0.6180339887498949, 1)
+		fill := scn.WorkFillMin + (scn.WorkFillMax-scn.WorkFillMin)*frac
+		j.ScaleWork(fill * scn.WorkReferenceS / spec.PeakSeconds)
+		if err := r.BindJob(ref, j); err != nil {
+			return nil, err
+		}
+	}
+	return &Env{Rack: r, Breaker: b, UPS: u, Trace: tr, Events: NewEventLog()}, nil
+}
+
+func nextSnapshot(now, dt, measured, cbW, upsW float64, env *Env, outage bool) Snapshot {
+	return Snapshot{
+		Now:               now,
+		Dt:                dt,
+		MeasuredTotalW:    measured,
+		CBPowerW:          cbW,
+		UPSPowerW:         upsW,
+		CBThermalFraction: env.Breaker.ThermalFraction(),
+		CBNearTrip:        env.Breaker.NearTrip(),
+		CBTripped:         env.Breaker.Tripped(),
+		UPSSoC:            env.UPS.SoC(),
+		UPSDepleted:       env.UPS.Depleted(),
+		Outage:            outage,
+	}
+}
+
+func recordTick(res *Result, reporter TargetReporter, now, pTotal, cbW, upsW float64, env *Env, outage bool) {
+	s := &res.Series
+	s.Time = append(s.Time, now)
+	s.TotalW = append(s.TotalW, pTotal)
+	s.Demand = append(s.Demand, env.Trace.At(now))
+	s.CBW = append(s.CBW, cbW)
+	s.UPSW = append(s.UPSW, upsW)
+	s.SoC = append(s.SoC, env.UPS.SoC())
+
+	pcb, pbatch := math.NaN(), math.NaN()
+	if reporter != nil {
+		pcb, pbatch = reporter.Targets(now)
+	}
+	s.PCbW = append(s.PCbW, pcb)
+	s.PBatchW = append(s.PBatchW, pbatch)
+
+	fi, fb := 0.0, 0.0
+	if !outage {
+		fi = env.Rack.MeanInteractiveFreqNorm()
+		fb = env.Rack.MeanBatchFreqNorm()
+	}
+	s.FreqInter = append(s.FreqInter, fi)
+	s.FreqBatch = append(s.FreqBatch, fb)
+}
+
+func finalize(res *Result, env *Env, controlled, over int, trackErrSum float64) {
+	s := &res.Series
+	n := float64(len(s.Time))
+	if n == 0 {
+		return
+	}
+	var sumFi, sumFb float64
+	for i := range s.Time {
+		sumFi += s.FreqInter[i]
+		sumFb += s.FreqBatch[i]
+		res.EnergyTotalWh += s.TotalW[i] * s.DtS / 3600
+		res.EnergyCBWh += s.CBW[i] * s.DtS / 3600
+		if ov := s.CBW[i] - env.Breaker.RatedPower(); ov > 0 {
+			res.EnergyCBOverWh += ov * s.DtS / 3600
+		}
+	}
+	res.AvgFreqInter = sumFi / n
+	res.AvgFreqBatch = sumFb / n
+
+	res.UPSDoD = env.UPS.DoD()
+	res.UPSDischargedWh = env.UPS.DischargedWh()
+
+	end := res.Scenario.DurationS
+	latest := 0.0
+	for _, ref := range env.Rack.BatchCores() {
+		j := env.Rack.Job(ref)
+		if j == nil {
+			continue
+		}
+		res.JobsTotal++
+		if j.Completed() {
+			res.JobsCompletedOnce++
+			latest = math.Max(latest, j.CompletionTime())
+		} else {
+			latest = math.Inf(1)
+		}
+		missed := j.MissedDeadline(end)
+		if missed {
+			res.DeadlineMisses++
+		}
+		res.BatchWorkDoneS += j.WorkDone()
+		res.Jobs = append(res.Jobs, JobResult{
+			Name:        j.Spec.Name,
+			Core:        ref.String(),
+			CompletionS: j.CompletionTime(),
+			Progress:    j.Progress(),
+			Missed:      missed,
+		})
+	}
+	res.MaxCompletionTimeS = latest
+
+	if controlled > 0 {
+		res.CBOverBudgetFrac = float64(over) / float64(controlled)
+		res.CBTrackingErrorW = trackErrSum / float64(controlled)
+	}
+	res.Events = env.Events.Events()
+}

@@ -1,0 +1,184 @@
+// Package svgplot renders simulation time series as standalone SVG line
+// charts — the vector figures cmd/report emits so the paper's power and
+// frequency plots (Figs. 5–7) can be compared visually, not just as
+// sparklines. Pure stdlib; no styling dependencies.
+package svgplot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	Name string
+	Y    []float64 // sampled at X[i]; NaN breaks the line
+}
+
+// Chart is one line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+	// Width and Height in pixels (0 selects 760×340).
+	Width, Height int
+}
+
+// seriesColors is a color-blind-safe cycle.
+var seriesColors = []string{
+	"#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9",
+}
+
+const (
+	marginLeft   = 64.0
+	marginRight  = 16.0
+	marginTop    = 34.0
+	marginBottom = 44.0
+)
+
+// Render writes the chart as a complete SVG document.
+func (c Chart) Render(w io.Writer) error {
+	if len(c.X) < 2 {
+		return errors.New("svgplot: need at least two x samples")
+	}
+	if len(c.Series) == 0 {
+		return errors.New("svgplot: need at least one series")
+	}
+	for _, s := range c.Series {
+		if len(s.Y) != len(c.X) {
+			return fmt.Errorf("svgplot: series %q has %d samples for %d x values",
+				s.Name, len(s.Y), len(c.X))
+		}
+	}
+	width, height := float64(c.Width), float64(c.Height)
+	if width <= 0 {
+		width = 760
+	}
+	if height <= 0 {
+		height = 340
+	}
+
+	xmin, xmax := c.X[0], c.X[len(c.X)-1]
+	if xmax <= xmin {
+		return errors.New("svgplot: x range must be increasing")
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			ymin = math.Min(ymin, v)
+			ymax = math.Max(ymax, v)
+		}
+	}
+	if math.IsInf(ymin, 1) {
+		return errors.New("svgplot: no finite y values")
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Pad the y range 5 % on each side.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	plotW := width - marginLeft - marginRight
+	plotH := height - marginTop - marginBottom
+	px := func(x float64) float64 { return marginLeft + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return marginTop + (1-(y-ymin)/(ymax-ymin))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%.0f" y="20" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n",
+		marginLeft, esc(c.Title))
+
+	// Axes and ticks.
+	fmt.Fprintf(&b, `<g stroke="#444" stroke-width="1">`+"\n")
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/>`+"\n",
+		marginLeft, marginTop, marginLeft, marginTop+plotH)
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/>`+"\n",
+		marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH)
+	b.WriteString("</g>\n")
+	for i := 0; i <= 4; i++ {
+		fx := xmin + (xmax-xmin)*float64(i)/4
+		fy := ymin + (ymax-ymin)*float64(i)/4
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			px(fx), marginTop+plotH+16, tick(fx))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, py(fy)+3, tick(fy))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd" stroke-width="0.5"/>`+"\n",
+			marginLeft, py(fy), marginLeft+plotW, py(fy))
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, height-8, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, esc(c.YLabel))
+
+	// Series polylines (split at NaN gaps).
+	for si, s := range c.Series {
+		color := seriesColors[si%len(seriesColors)]
+		var pts []string
+		flush := func() {
+			if len(pts) >= 2 {
+				fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`+"\n",
+					color, strings.Join(pts, " "))
+			}
+			pts = pts[:0]
+		}
+		for i, v := range s.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				flush()
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(c.X[i]), py(clampF(v, ymin, ymax))))
+		}
+		flush()
+		// Legend entry.
+		lx := marginLeft + plotW - 150
+		ly := marginTop + 8 + float64(si)*16
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly, lx+18, ly, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			lx+24, ly+4, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// tick formats an axis tick value compactly.
+func tick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 10000:
+		return fmt.Sprintf("%.1fk", v/1000)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// esc escapes XML-special characters in text content.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,117 @@
+package svgplot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func demoChart() Chart {
+	return Chart{
+		Title:  "demo <chart>",
+		XLabel: "time (s)",
+		YLabel: "power (W)",
+		X:      []float64{0, 1, 2, 3},
+		Series: []Series{
+			{Name: "total", Y: []float64{3000, 3100, 3050, 3200}},
+			{Name: "cb", Y: []float64{3000, 3000, math.NaN(), 3100}},
+		},
+	}
+}
+
+func TestRenderWellFormedXML(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoChart().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	s := buf.String()
+	for _, want := range []string{"<svg", "polyline", "time (s)", "power (W)", "demo &lt;chart&gt;"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestRenderNaNBreaksLine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoChart().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The cb series has a NaN: its line is split, but with only two
+	// points in the first segment and one after, exactly one polyline
+	// appears for it plus one for total = 2 total.
+	if got := strings.Count(buf.String(), "<polyline"); got != 2 {
+		t.Fatalf("polylines = %d, want 2", got)
+	}
+}
+
+func TestRenderValidation(t *testing.T) {
+	c := demoChart()
+	c.X = []float64{0}
+	c.Series[0].Y = []float64{1}
+	c.Series[1].Y = []float64{1}
+	if err := c.Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("single x sample should error")
+	}
+	c = demoChart()
+	c.Series = nil
+	if err := c.Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("no series should error")
+	}
+	c = demoChart()
+	c.Series[0].Y = []float64{1, 2}
+	if err := c.Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	c = demoChart()
+	for i := range c.Series {
+		for j := range c.Series[i].Y {
+			c.Series[i].Y[j] = math.NaN()
+		}
+	}
+	if err := c.Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("all-NaN should error")
+	}
+	c = demoChart()
+	c.X = []float64{3, 2, 1, 0}
+	if err := c.Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("decreasing x should error")
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	c := Chart{
+		X:      []float64{0, 1},
+		Series: []Series{{Name: "flat", Y: []float64{5, 5}}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatalf("flat series should render: %v", err)
+	}
+}
+
+func TestTickFormatting(t *testing.T) {
+	cases := map[float64]string{
+		12345: "12.3k",
+		150:   "150",
+		1.234: "1.2",
+		0.05:  "0.05",
+	}
+	for in, want := range cases {
+		if got := tick(in); got != want {
+			t.Errorf("tick(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package ups_test
+
+import (
+	"fmt"
+
+	"sprintcon/internal/ups"
+)
+
+// The LFP cycle-life argument of paper Section VII-D: shallow discharges
+// buy disproportionally many cycles.
+func ExampleCycleLife() {
+	for _, dod := range []float64{0.17, 0.31, 1.0} {
+		fmt.Printf("DoD %.0f%% -> %.0fk cycles, %.1f years at 10/day\n",
+			100*dod, ups.CycleLife(dod)/1000, ups.LifetimeYears(dod, 10))
+	}
+	// Output:
+	// DoD 17% -> 40k cycles, 10.0 years at 10/day
+	// DoD 31% -> 10k cycles, 2.7 years at 10/day
+	// DoD 100% -> 1k cycles, 0.2 years at 10/day
+}
+
+// Duty-cycled discharge: the UPS delivers a requested share of the rack
+// load, quantized to the switch's duty resolution.
+func ExampleUPS_Discharge() {
+	cfg := ups.DefaultConfig()
+	cfg.DutyQuantum = 0.05 // 5 % duty steps
+	cfg.DischargeEfficiency = 1
+	u, err := ups.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	delivered := u.Discharge(330, 1000, 1) // 33 % of a 1 kW load
+	fmt.Printf("delivered %.0f W (rounded to 35%% duty)\n", delivered)
+	// Output:
+	// delivered 350 W (rounded to 35% duty)
+}

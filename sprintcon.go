@@ -1,0 +1,130 @@
+// Package sprintcon is a library reproduction of "SprintCon: Controllable
+// and Efficient Computational Sprinting for Data Center Servers"
+// (Zheng et al., IPDPS 2019).
+//
+// Computational sprinting temporarily runs a rack of servers beyond the
+// power its circuit breaker is rated for, sourcing the excess from the
+// breaker's bounded overload tolerance and from UPS batteries. SprintCon
+// makes long (15+ minute) sprints controllable:
+//
+//   - a power load allocator schedules the breaker target P_cb (periodic
+//     overload/recovery) and adapts the batch power budget P_batch every
+//     30 s from deadline progress and interactive load;
+//   - an MPC server power controller tracks P_batch by scaling the DVFS
+//     frequency of every core running batch work, weighting cores by
+//     deadline urgency;
+//   - a UPS power controller discharges the battery to cover exactly the
+//     load above P_cb, keeping the breaker safe;
+//   - a supervisor degrades gracefully (stop overloading → fit everything
+//     under P_cb with priority bidding → end the sprint).
+//
+// The package front-door wraps the internal implementation:
+//
+//	scn := sprintcon.DefaultScenario()          // the paper's 16-server rack
+//	res, err := sprintcon.Run(scn, sprintcon.New(sprintcon.DefaultConfig()))
+//	fmt.Println(res.AvgFreqInter, res.UPSDoD)   // Fig. 7 / Fig. 8 metrics
+//
+// Baselines from the paper's evaluation (the SGCT sprinting-game family)
+// are available through NewBaseline, and every figure/table of the paper
+// can be regenerated through Experiments or the cmd/experiments tool.
+package sprintcon
+
+import (
+	"fmt"
+	"io"
+
+	"sprintcon/internal/baseline"
+	"sprintcon/internal/core"
+	"sprintcon/internal/daily"
+	"sprintcon/internal/experiments"
+	"sprintcon/internal/qos"
+	"sprintcon/internal/sim"
+	"sprintcon/internal/workload"
+)
+
+// Re-exported types: aliases keep the public API in one import path while
+// the implementation lives in internal packages.
+type (
+	// Scenario configures a simulated sprint (rack, breaker, UPS,
+	// workloads, deadline).
+	Scenario = sim.Scenario
+	// Result aggregates a run's metrics and time series.
+	Result = sim.Result
+	// Series is the per-tick time series of a run.
+	Series = sim.Series
+	// Policy is a sprinting power-management strategy.
+	Policy = sim.Policy
+	// Config tunes the SprintCon policy.
+	Config = core.Config
+	// SprintCon is the paper's controllable sprinting policy.
+	SprintCon = core.SprintCon
+	// Table is a printable experiment result.
+	Table = experiments.Table
+	// BatchSpec describes a batch benchmark model.
+	BatchSpec = workload.BatchSpec
+	// InteractiveConfig parameterizes the interactive load generator.
+	InteractiveConfig = workload.InteractiveConfig
+	// InteractiveTrace is a demand time series (generated or replayed).
+	InteractiveTrace = workload.InteractiveTrace
+	// QoSConfig parameterizes the interactive latency model (extension).
+	QoSConfig = qos.Config
+	// DailyPlan describes a multi-sprint operating regime (extension).
+	DailyPlan = daily.Plan
+	// DailyOutcome is an evaluated operating regime.
+	DailyOutcome = daily.Outcome
+)
+
+// DefaultScenario returns the paper's evaluation setup: 16 servers with
+// two 4-core CPUs each (150 W idle / 300 W peak), a 3.2 kW breaker
+// (1.25× overloadable for 150 s, 300 s recovery), a 400 Wh UPS, a
+// Wikipedia-like interactive flash crowd, and SPEC CPU2006-like batch jobs
+// with 12-minute deadlines over a 15-minute sprint.
+func DefaultScenario() Scenario { return sim.DefaultScenario() }
+
+// DefaultConfig returns the paper-faithful SprintCon tuning.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// New returns a SprintCon policy.
+func New(cfg Config) *SprintCon { return core.New(cfg) }
+
+// NewBaseline returns one of the paper's comparison policies:
+// "sgct" (uncontrolled sprinting game), "sgct-v1" (ideally clamped) or
+// "sgct-v2" (ideally clamped, interactive priority).
+func NewBaseline(name string) (Policy, error) {
+	switch name {
+	case "sgct":
+		return baseline.New(baseline.SGCT), nil
+	case "sgct-v1":
+		return baseline.New(baseline.SGCTV1), nil
+	case "sgct-v2":
+		return baseline.New(baseline.SGCTV2), nil
+	default:
+		return nil, fmt.Errorf("sprintcon: unknown baseline %q (want sgct, sgct-v1 or sgct-v2)", name)
+	}
+}
+
+// Run simulates the scenario under the policy.
+func Run(scn Scenario, p Policy) (*Result, error) { return sim.Run(scn, p) }
+
+// Experiments regenerates every table and figure of the paper's evaluation
+// (see DESIGN.md for the index).
+func Experiments() ([]*Table, error) { return experiments.All() }
+
+// SpecCPU2006 returns the batch benchmark models used in the evaluation.
+func SpecCPU2006() []BatchSpec { return workload.SpecCPU2006() }
+
+// TraceFromCSV loads an interactive demand trace (time_s,demand_frac) for
+// replay through Scenario.Trace.
+func TraceFromCSV(r io.Reader) (*InteractiveTrace, error) { return workload.TraceFromCSV(r) }
+
+// DefaultQoSConfig returns the web-serving latency model defaults.
+func DefaultQoSConfig() QoSConfig { return qos.DefaultConfig() }
+
+// DefaultDailyPlan returns the paper's "10 sprints/day for 10 years" regime.
+func DefaultDailyPlan() DailyPlan { return daily.DefaultPlan() }
+
+// EvaluateDaily extrapolates one sprint to the plan's operating regime:
+// battery wear, recharge feasibility, and costs (paper Section VII-D).
+func EvaluateDaily(plan DailyPlan, p Policy) (*DailyOutcome, error) {
+	return daily.Evaluate(plan, p)
+}

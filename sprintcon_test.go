@@ -1,0 +1,43 @@
+package sprintcon
+
+import (
+	"testing"
+)
+
+func TestFacadeRunSprintCon(t *testing.T) {
+	scn := DefaultScenario()
+	scn.DurationS = 120
+	scn.BurstDurationS = 120
+	scn.BatchDeadlineS = 110
+	res, err := Run(scn, New(DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "SprintCon" {
+		t.Fatalf("policy = %q", res.Policy)
+	}
+	if res.AvgFreqInter < 0.99 {
+		t.Fatalf("interactive avg freq %v", res.AvgFreqInter)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	for _, name := range []string{"sgct", "sgct-v1", "sgct-v2"} {
+		p, err := NewBaseline(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() == "" {
+			t.Fatalf("%s has no name", name)
+		}
+	}
+	if _, err := NewBaseline("nope"); err == nil {
+		t.Fatal("unknown baseline should error")
+	}
+}
+
+func TestFacadeSpecCatalog(t *testing.T) {
+	if got := len(SpecCPU2006()); got != 8 {
+		t.Fatalf("benchmarks = %d", got)
+	}
+}
