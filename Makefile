@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench report experiments clean
+.PHONY: all build vet test race chaos bench report experiments clean
 
 all: build vet test
 
@@ -17,7 +17,10 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/ ./internal/experiments/ ./internal/cluster/
+	$(GO) test -race ./...
+
+chaos:
+	$(GO) test -run TestChaos -v ./internal/core/
 
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt

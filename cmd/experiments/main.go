@@ -8,7 +8,7 @@
 //
 // Experiments: fig1 fig2 fig3 fig5 fig6 fig7 fig8a fig8b headline
 // ablation-controller ablation-schedule ablation-ups sensitivity qos
-// daily-cost all.
+// daily-cost faults all.
 package main
 
 import (
@@ -99,6 +99,8 @@ func main() {
 		print1(experiments.EnergyEfficiency())
 	case "sprinting-benefit":
 		print1(experiments.SprintingBenefit())
+	case "faults":
+		print1(experiments.FaultMatrix())
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}

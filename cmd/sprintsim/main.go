@@ -4,8 +4,12 @@
 // Usage:
 //
 //	sprintsim -policy sprintcon -deadline 720 -duration 900 [-csv out.csv]
+//	sprintsim -policy sgct-v2 -fault ups-path-failure:100:500 -events
 //
 // Policies: sprintcon, sprintcon-pi, sgct, sgct-v1, sgct-v2.
+// The repeatable -fault flag injects runtime faults
+// (kind:onset:duration[:severity[:server]]); -unhardened strips SprintCon's
+// defenses to reproduce the paper-faithful fault-oblivious controller.
 package main
 
 import (
@@ -16,10 +20,32 @@ import (
 
 	"sprintcon/internal/baseline"
 	"sprintcon/internal/core"
+	"sprintcon/internal/faults"
 	"sprintcon/internal/seriesio"
 	"sprintcon/internal/sim"
 	"sprintcon/internal/workload"
 )
+
+// faultList collects repeated -fault flags into a fault plan.
+type faultList struct {
+	plan faults.Plan
+}
+
+func (l *faultList) String() string {
+	if l == nil || l.plan.Empty() {
+		return ""
+	}
+	return fmt.Sprintf("%d faults", len(l.plan.Faults))
+}
+
+func (l *faultList) Set(spec string) error {
+	f, err := faults.Parse(spec)
+	if err != nil {
+		return err
+	}
+	l.plan.Faults = append(l.plan.Faults, f)
+	return nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -36,7 +62,10 @@ func main() {
 		tracePath  = flag.String("trace", "", "replay an interactive demand trace from this CSV (time_s,demand_frac)")
 		scenPath   = flag.String("scenario", "", "load the scenario from this JSON file (see -dump-scenario)")
 		dumpScen   = flag.Bool("dump-scenario", false, "print the default scenario as JSON and exit")
+		unhardened = flag.Bool("unhardened", false, "disable SprintCon's fault defenses (paper-faithful controller)")
 	)
+	var flist faultList
+	flag.Var(&flist, "fault", "inject a fault, kind:onset:duration[:severity[:server]] (repeatable); kinds: "+kindList())
 	flag.Parse()
 
 	if *dumpScen {
@@ -64,6 +93,9 @@ func main() {
 		scn.Interactive.Seed = *seed
 		scn.Interactive.BurstEndS = *duration
 	}
+	if !flist.plan.Empty() {
+		scn.Faults = flist.plan
+	}
 	if *tracePath != "" {
 		f, err := os.Open(*tracePath)
 		if err != nil {
@@ -77,7 +109,7 @@ func main() {
 		scn.Trace = tr
 	}
 
-	policy, err := policyByName(*policyName)
+	policy, err := policyByName(*policyName, *unhardened)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -115,16 +147,27 @@ func main() {
 	}
 }
 
-func policyByName(name string) (sim.Policy, error) {
+func kindList() string {
+	var s string
+	for i, k := range faults.Kinds() {
+		if i > 0 {
+			s += ", "
+		}
+		s += string(k)
+	}
+	return s
+}
+
+func policyByName(name string, unhardened bool) (sim.Policy, error) {
+	cfg := core.DefaultConfig()
+	cfg.Harden.Disabled = unhardened
 	switch name {
 	case "sprintcon":
-		return core.New(core.DefaultConfig()), nil
+		return core.New(cfg), nil
 	case "sprintcon-pi":
-		cfg := core.DefaultConfig()
 		cfg.Controller = core.ControllerPI
 		return core.New(cfg), nil
 	case "nosprint":
-		cfg := core.DefaultConfig()
 		cfg.NoSprint = true
 		return core.New(cfg), nil
 	case "sgct":

@@ -1,0 +1,61 @@
+// Fault storm: the rack power monitor freezes during the first scheduled
+// breaker-overload window and the UPS discharge path fails shortly after —
+// the two faults that most directly attack a sprinting controller's safety
+// assumptions. The hardened SprintCon detects both (watchdog events below),
+// suspends overloading and finishes the sprint safely; the fault-oblivious
+// SGCT-V2 baseline keeps drawing against battery cover that never arrives.
+//
+//	go run ./examples/faultstorm
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"sprintcon"
+)
+
+func main() {
+	scn := sprintcon.DefaultScenario()
+	for _, spec := range []string{
+		// The monitor freezes at 30 s — right as the first 150 s overload
+		// window is under way — and stays frozen through the window.
+		"monitor-freeze:30:300",
+		// The battery discharge path fails at minute 5 for five minutes.
+		"ups-path-failure:300:300",
+	} {
+		f, err := sprintcon.ParseFault(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scn.Faults.Faults = append(scn.Faults.Faults, f)
+	}
+
+	baseline, err := sprintcon.NewBaseline("sgct-v2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, policy := range []sprintcon.Policy{
+		sprintcon.New(sprintcon.DefaultConfig()),
+		baseline,
+	} {
+		res, err := sprintcon.Run(scn, policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n", res.Policy)
+		fmt.Printf("trips %d | outage %.0fs | DoD %.0f%% | misses %d | interactive %.2f | batch %.2f\n",
+			res.CBTrips, res.OutageS, 100*res.UPSDoD, res.DeadlineMisses,
+			res.AvgFreqInter, res.AvgFreqBatch)
+		for _, e := range res.Events {
+			switch {
+			case e.Kind == "fault-onset", e.Kind == "fault-clear",
+				e.Kind == "watchdog", e.Kind == "cb-trip",
+				strings.HasPrefix(e.Kind, "outage"):
+				fmt.Println(" ", e)
+			}
+		}
+		fmt.Println()
+	}
+}

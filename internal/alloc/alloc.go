@@ -154,6 +154,13 @@ type Allocator struct {
 	lastUpdate  float64
 	samples     []float64 // interactive power observations this window
 	samplesHigh int       // threshold mode: saturated samples
+
+	// conf derates the overload bonus: with measurement confidence c the
+	// scheduled budget becomes rated + c·(P_cb − rated). Sprinting past
+	// the breaker rating is only safe while the telemetry that closes the
+	// loop is trustworthy, so degraded confidence shrinks the overload
+	// proportionally and confidence 0 removes it entirely.
+	conf float64
 }
 
 // maxSamples bounds the observation window (at 1 Hz this is 10 periods).
@@ -164,8 +171,22 @@ func New(cfg Config) (*Allocator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Allocator{cfg: cfg, bMax: math.Inf(1)}, nil
+	return &Allocator{cfg: cfg, bMax: math.Inf(1), conf: 1}, nil
 }
+
+// SetConfidence sets the measurement-confidence factor in [0, 1] that
+// derates the overload portion of the CB budget (NaN is treated as 0).
+func (a *Allocator) SetConfidence(c float64) {
+	if math.IsNaN(c) || c < 0 {
+		c = 0
+	} else if c > 1 {
+		c = 1
+	}
+	a.conf = c
+}
+
+// Confidence returns the current measurement-confidence factor.
+func (a *Allocator) Confidence() float64 { return a.conf }
 
 // Config returns the allocator configuration.
 func (a *Allocator) Config() Config { return a.cfg }
@@ -225,7 +246,7 @@ func (a *Allocator) PCb(now float64) float64 {
 	case a.burstDur <= a.cfg.MidBurstS:
 		// One constant overload lasting the whole burst, at the
 		// largest degree the trip budget allows.
-		return a.cfg.RatedPowerW * a.SafeConstantDegree(a.burstDur)
+		return a.derate(a.cfg.RatedPowerW * a.SafeConstantDegree(a.burstDur))
 	default:
 		// Periodic overload: 150 s at degree, 300 s at rated.
 		phase := math.Mod(now-a.burstStart+a.cfg.PhaseOffsetS, a.cfg.OverloadS+a.cfg.RecoveryS)
@@ -233,10 +254,19 @@ func (a *Allocator) PCb(now float64) float64 {
 			phase += a.cfg.OverloadS + a.cfg.RecoveryS
 		}
 		if phase < a.cfg.OverloadS {
-			return a.cfg.RatedPowerW * a.cfg.OverloadDegree
+			return a.derate(a.cfg.RatedPowerW * a.cfg.OverloadDegree)
 		}
 		return a.cfg.RatedPowerW
 	}
+}
+
+// derate scales the overload portion of a CB budget by the measurement
+// confidence: rated + conf·(pcb − rated).
+func (a *Allocator) derate(pcbW float64) float64 {
+	if a.conf >= 1 || pcbW <= a.cfg.RatedPowerW {
+		return pcbW
+	}
+	return a.cfg.RatedPowerW + a.conf*(pcbW-a.cfg.RatedPowerW)
 }
 
 // Overloading reports whether the schedule is in an overload phase at now.
@@ -301,6 +331,11 @@ func (a *Allocator) PBatch() float64 {
 // consumption" is the second P_batch factor).
 func (a *Allocator) ObserveHeadroom(pInterW, now float64) {
 	if !a.started {
+		return
+	}
+	if math.IsNaN(pInterW) || math.IsInf(pInterW, 0) {
+		// A corrupted sample would poison the reserve quantile for a
+		// whole adaptation window; drop it.
 		return
 	}
 	pcb := a.PCb(now)

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"sprintcon/internal/cpu"
+	"sprintcon/internal/rack"
 	"sprintcon/internal/sim"
 )
 
@@ -232,7 +233,7 @@ func (p *Policy) prioritizedCores(env *sim.Env, now float64) []coreRef {
 				demand = st.Util * st.Freq / fmax
 			}
 			if demand < sprintThreshold {
-				s.CPU().SetFreq(c, p.fnom)
+				env.Rack.SetCoreFreq(rack.CoreRef{Server: s.ID(), Core: c}, p.fnom)
 				continue
 			}
 			waited := now - p.lastSprinted[coreKey{s.ID(), c}]
@@ -271,7 +272,9 @@ func (p *Policy) applyTheta(env *sim.Env, cores []coreRef, theta float64) {
 		case float64(i) < theta:
 			f = p.fnom + (theta-float64(i))*(p.fmax-p.fnom)
 		}
-		env.Rack.Servers()[c.server].CPU().SetFreq(c.core, f)
+		// Routed through the rack's actuation path so injected DVFS
+		// faults affect the baselines exactly as they do SprintCon.
+		env.Rack.SetCoreFreq(rack.CoreRef{Server: c.server, Core: c.core}, f)
 	}
 }
 

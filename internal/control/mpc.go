@@ -131,12 +131,25 @@ func (m *MPC) Config() MPCConfig { return m.cfg }
 // Δf is constant over the horizon, so Eq. (8) collapses to a box-constrained
 // QP in Δf, solved exactly.
 func (m *MPC) Step(pfbW, pTargetW float64, freqs, rweights []float64) ([]float64, error) {
+	return m.StepLocked(pfbW, pTargetW, freqs, rweights, nil)
+}
+
+// StepLocked is Step with an exclusion mask: cores whose locked entry is
+// true are removed from the move set (their move bounds collapse to zero),
+// so the optimizer spreads the power correction over the cores whose DVFS
+// actuators are known to respond. A nil mask locks nothing. This is how the
+// hardened policy handles a stuck actuator: commanding it is pointless, and
+// pretending its moves contribute power would misallocate the budget.
+func (m *MPC) StepLocked(pfbW, pTargetW float64, freqs, rweights []float64, locked []bool) ([]float64, error) {
 	n := len(m.cfg.KWPerGHz)
 	if len(freqs) != n || len(rweights) != n {
 		return nil, fmt.Errorf("control: Step got %d freqs and %d weights for %d cores", len(freqs), len(rweights), n)
 	}
+	if locked != nil && len(locked) != n {
+		return nil, fmt.Errorf("control: Step got %d locked flags for %d cores", len(locked), n)
+	}
 	if m.cfg.FullHorizon {
-		return m.stepFullHorizon(pfbW, pTargetW, freqs, rweights)
+		return m.stepFullHorizon(pfbW, pTargetW, freqs, rweights, locked)
 	}
 	k := mathx.Vector(m.cfg.KWPerGHz)
 
@@ -170,6 +183,9 @@ func (m *MPC) Step(pfbW, pTargetW float64, freqs, rweights []float64) ([]float64
 	lo := mathx.NewVector(n)
 	hi := mathx.NewVector(n)
 	for i := 0; i < n; i++ {
+		if locked != nil && locked[i] {
+			continue // lo = hi = 0: no move for this core
+		}
 		lo[i] = m.cfg.FMinGHz - freqs[i]
 		hi[i] = m.cfg.FMaxGHz - freqs[i]
 	}
@@ -196,7 +212,7 @@ func (m *MPC) Step(pfbW, pTargetW float64, freqs, rweights []float64) ([]float64
 // distinct moves. Decision variables are the cumulative moves
 // z_h ∈ Rⁿ (h = 1..L_c); the predicted power at horizon step h is
 // p_fb + K·z_{min(h,L_c)} and the Eq. (9) bounds apply to F + z_h.
-func (m *MPC) stepFullHorizon(pfbW, pTargetW float64, freqs, rweights []float64) ([]float64, error) {
+func (m *MPC) stepFullHorizon(pfbW, pTargetW float64, freqs, rweights []float64, locked []bool) ([]float64, error) {
 	n := len(m.cfg.KWPerGHz)
 	lc := m.cfg.ControlHorizon
 	nv := n * lc
@@ -244,6 +260,9 @@ func (m *MPC) stepFullHorizon(pfbW, pTargetW float64, freqs, rweights []float64)
 	hi := mathx.NewVector(nv)
 	for blk := 0; blk < lc; blk++ {
 		for i := 0; i < n; i++ {
+			if locked != nil && locked[i] {
+				continue // lo = hi = 0: excluded from the move set
+			}
 			lo[blk*n+i] = m.cfg.FMinGHz - freqs[i]
 			hi[blk*n+i] = m.cfg.FMaxGHz - freqs[i]
 		}

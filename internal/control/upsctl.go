@@ -1,6 +1,9 @@
 package control
 
-import "errors"
+import (
+	"errors"
+	"math"
+)
 
 // UPSControllerConfig parameterizes the UPS power controller
 // (paper Section IV-C): in every control period the UPS discharge must equal
@@ -80,6 +83,12 @@ func (u *UPSController) Reset() { u.trim = 0 }
 // period and the allocator's CB budget P_cb. Non-negative by construction:
 // the UPS never absorbs power here (recharge is scheduled off-sprint).
 func (u *UPSController) Step(measuredTotalW, measuredCBW, pcbTargetW float64) float64 {
+	// A NaN anywhere would poison the integral trim permanently; with no
+	// usable inputs the only safe request is zero (the breaker-side
+	// overload protection still applies).
+	if math.IsNaN(measuredTotalW) || math.IsNaN(measuredCBW) || math.IsNaN(pcbTargetW) {
+		return 0
+	}
 	pcbTargetW -= u.cfg.TargetMarginW
 	cbErr := measuredCBW - pcbTargetW // positive: breaker over budget
 

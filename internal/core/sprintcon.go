@@ -102,6 +102,11 @@ type Config struct {
 	// discharge — classic power capping at the breaker rating ([8]).
 	// This quantifies what sprinting buys (experiment E17).
 	NoSprint bool
+	// Harden configures the fault defenses (measurement guard, telemetry
+	// and UPS watchdogs, actuator-effectiveness monitoring). Defenses are
+	// ON by default; set Harden.Disabled for the paper-faithful
+	// fault-oblivious controller.
+	Harden HardeningConfig
 }
 
 // DefaultConfig returns the paper-faithful configuration.
@@ -145,6 +150,9 @@ type SprintCon struct {
 	everNearTrip bool
 	everDepleted bool
 
+	// hd is the fault-defense state (nil when hardening is disabled).
+	hd *hardenState
+
 	// Online model estimation (optional).
 	rls         *control.RLS
 	kModel      float64 // slope the controllers currently use
@@ -178,6 +186,7 @@ func New(cfg Config) *SprintCon {
 	if cfg.InitialKScale == 0 {
 		cfg.InitialKScale = def.InitialKScale
 	}
+	cfg.Harden = cfg.Harden.withDefaults()
 	return &SprintCon{cfg: cfg}
 }
 
@@ -186,14 +195,17 @@ func (s *SprintCon) Name() string {
 	if s.cfg.NoSprint {
 		return "NoSprint"
 	}
+	name := "SprintCon"
 	switch s.cfg.Controller {
 	case ControllerPI:
-		return "SprintCon-PI"
+		name = "SprintCon-PI"
 	case ControllerMPCFull:
-		return "SprintCon-MPCFull"
-	default:
-		return "SprintCon"
+		name = "SprintCon-MPCFull"
 	}
+	if s.cfg.Harden.Disabled {
+		name += "-unhardened"
+	}
+	return name
 }
 
 // Mode returns the current supervisor mode.
@@ -251,6 +263,9 @@ func (s *SprintCon) Start(env *sim.Env, scn sim.Scenario) error {
 		return fmt.Errorf("core: UPS controller: %w", err)
 	}
 	s.upsctl = uc
+	if err := s.startHardening(env); err != nil {
+		return err
+	}
 
 	// Announce the burst: the initial interactive reserve is the
 	// Eq. (5) estimate at the trace's first sample.
@@ -309,6 +324,14 @@ func (s *SprintCon) Targets(float64) (pcbW, pbatchW float64) {
 // Tick implements sim.Policy.
 func (s *SprintCon) Tick(env *sim.Env, snap sim.Snapshot) float64 {
 	now := snap.Now
+	pInterEst := env.Rack.EstimateInteractivePower()
+	if s.hd.enabled() {
+		// Defenses first, so everything below — the supervisor, the
+		// allocator, both power controllers — sees the guarded
+		// measurement and the watchdogs' verdicts.
+		snap.MeasuredTotalW = s.guardMeasurement(env, snap.MeasuredTotalW, pInterEst)
+		s.watchUPS(env, snap)
+	}
 	before := s.mode
 	s.updateMode(snap)
 	if s.mode != before && env.Events != nil {
@@ -318,7 +341,6 @@ func (s *SprintCon) Tick(env *sim.Env, snap sim.Snapshot) float64 {
 	pcb := s.effectivePCb(now)
 	s.curPCb = pcb
 
-	pInterEst := env.Rack.EstimateInteractivePower()
 	s.allocator.ObserveHeadroom(pInterEst, now)
 
 	// Server power control at its own (slower) cadence.
@@ -332,10 +354,14 @@ func (s *SprintCon) Tick(env *sim.Env, snap sim.Snapshot) float64 {
 	s.manageInteractive(env, pcb, pInterEst)
 
 	// UPS power control: cover everything the CB budget does not.
-	if s.mode == ModeCBOnly || s.mode == ModeEnded || math.IsInf(pcb, 1) {
-		return 0
+	var req float64
+	if s.mode != ModeCBOnly && s.mode != ModeEnded && !math.IsInf(pcb, 1) {
+		req = s.upsctl.Step(snap.MeasuredTotalW, snap.CBPowerW, pcb)
 	}
-	return s.upsctl.Step(snap.MeasuredTotalW, snap.CBPowerW, pcb)
+	if s.hd.enabled() {
+		s.hd.upsLastReqW = req
+	}
+	return req
 }
 
 // updateMode advances the supervisor state machine.
@@ -349,7 +375,9 @@ func (s *SprintCon) updateMode(snap sim.Snapshot) {
 	if snap.CBNearTrip || snap.CBTripped {
 		s.everNearTrip = true
 	}
-	if snap.UPSDepleted {
+	if snap.UPSDepleted || (s.hd.enabled() && s.hd.upsFailed) {
+		// A discharge path that stopped delivering is exactly as gone
+		// as an empty battery, whatever the SoC gauge claims.
 		s.everDepleted = true
 	}
 	switch {
@@ -373,14 +401,22 @@ func (s *SprintCon) updateMode(snap sim.Snapshot) {
 
 // effectivePCb applies the supervisor's overrides to the scheduled P_cb.
 func (s *SprintCon) effectivePCb(now float64) float64 {
+	var pcb float64
 	switch s.mode {
 	case ModeEnded:
 		return s.scn.Breaker.RatedPower
 	case ModeNoOverload:
-		return math.Min(s.allocator.PCb(now), s.scn.Breaker.RatedPower)
+		pcb = math.Min(s.allocator.PCb(now), s.scn.Breaker.RatedPower)
 	default:
-		return s.allocator.PCb(now)
+		pcb = s.allocator.PCb(now)
 	}
+	if s.hd.enabled() && s.hd.degraded {
+		// Telemetry watchdog: never overload the breaker on readings
+		// the guard cannot vouch for — fail safe to the rated budget
+		// until confidence recovers.
+		pcb = math.Min(pcb, s.scn.Breaker.RatedPower)
+	}
+	return pcb
 }
 
 // serverPowerControl runs one allocator + controller period.
@@ -432,11 +468,19 @@ func (s *SprintCon) serverPowerControl(env *sim.Env, snap sim.Snapshot, pcb, pIn
 	var err error
 	if s.cfg.Controller == ControllerPI {
 		next = s.pi.Step(pfb, target, s.cmdFreqs)
+	} else if s.hd.enabled() {
+		// Exclude cores with unresponsive actuators (and dark servers)
+		// from the move set: the optimizer must not budget power moves
+		// onto actuators that will not execute them.
+		next, err = s.mpc.StepLocked(pfb, target, s.cmdFreqs, env.Rack.RWeights(now), s.lockedMask(env))
 	} else {
 		next, err = s.mpc.Step(pfb, target, s.cmdFreqs, env.Rack.RWeights(now))
-		if err != nil {
-			return // keep previous actuation; the QP cannot fail on valid state
-		}
+	}
+	if err != nil {
+		return // keep previous actuation; the QP cannot fail on valid state
+	}
+	if s.hd.enabled() {
+		s.applyProbes(next)
 	}
 	if s.rls != nil {
 		s.lastMoveSum = 0
@@ -445,8 +489,12 @@ func (s *SprintCon) serverPowerControl(env *sim.Env, snap sim.Snapshot, pcb, pIn
 		}
 	}
 	s.cmdFreqs = next
-	if _, err := env.Rack.SetBatchFreqs(next); err != nil {
-		panic(fmt.Sprintf("core: SetBatchFreqs: %v", err)) // structural bug
+	applied, aerr := env.Rack.SetBatchFreqs(next)
+	if aerr != nil {
+		panic(fmt.Sprintf("core: SetBatchFreqs: %v", aerr)) // structural bug
+	}
+	if s.hd.enabled() {
+		s.observeActuation(env, next, applied)
 	}
 }
 

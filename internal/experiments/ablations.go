@@ -267,6 +267,7 @@ func All() ([]*Table, error) {
 		BurstRegimes,
 		EnergyEfficiency,
 		SprintingBenefit,
+		FaultMatrix,
 	}
 	var out []*Table
 	for _, c := range ctors {

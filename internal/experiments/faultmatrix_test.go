@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+// TestFaultMatrixClaims pins the two E18 acceptance claims: hardened
+// SprintCon survives every fault row with zero trips and zero outage, and at
+// least one injected fault trips or blacks out the strongest fault-oblivious
+// baseline (SGCT-V2).
+func TestFaultMatrixClaims(t *testing.T) {
+	tbl, err := FaultMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(FaultRows()) * len(faultPolicies())
+	if len(tbl.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), wantRows)
+	}
+	baselineBroken := false
+	for i, row := range tbl.Rows {
+		fault, policy := row[0], row[1]
+		trips := cell(t, tbl, i, 2)
+		outage := cell(t, tbl, i, 3)
+		switch {
+		case policy == "SprintCon":
+			if trips != 0 || outage != 0 {
+				t.Errorf("hardened SprintCon unsafe under %s: trips=%v outage=%v",
+					fault, trips, outage)
+			}
+		case fault == "none":
+			// Every policy is safe on the paper's default scenario; a
+			// failure here means the fault plumbing changed fault-free runs.
+			if trips != 0 || outage != 0 {
+				t.Errorf("%s unsafe on fault-free control row: trips=%v outage=%v",
+					policy, trips, outage)
+			}
+		case policy == "SGCT-V2" && (trips > 0 || outage > 0):
+			baselineBroken = true
+		}
+	}
+	if !baselineBroken {
+		t.Error("no fault tripped or blacked out SGCT-V2; the matrix must show at least one baseline failure")
+	}
+}

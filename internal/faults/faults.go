@@ -1,0 +1,424 @@
+// Package faults is the runtime fault-injection subsystem: a deterministic
+// schedule of sensor, actuator and component failures threaded through the
+// simulation tick loop. The paper's supervisor exists because components
+// misbehave mid-sprint — power monitors freeze, DVFS actuators stick, UPS
+// discharge paths open — yet the original evaluation only perturbs static
+// parameters. Each Fault here is a schedulable event with onset, duration
+// and severity; the Injector turns a Plan into per-tick corruption of the
+// measurement stream and per-component failure state, so controllers can be
+// exercised (and hardened) against faults that occur *during* a run.
+//
+// The taxonomy (see DESIGN.md §8 for the defense matrix):
+//
+//	MonitorDropout   — the rack power monitor returns NaN (no reading)
+//	MonitorFreeze    — the monitor repeats its last pre-onset reading
+//	MonitorBias      — readings scaled by (1 + Severity), e.g. −0.4 reads 40% low
+//	MeasurementDelay — readings delivered Severity seconds late
+//	ActuatorStuck    — a server's DVFS writes are silently ignored
+//	ActuatorLag      — writes move only a Severity fraction toward the command
+//	ServerCrash      — a server goes dark: no power, no work, no telemetry
+//	UPSPathFailure   — the battery discharge path delivers nothing
+//	UPSGaugeBias     — the SoC gauge reads Severity too high (or low)
+//
+// All injection is pure state-machine logic driven by the schedule: two runs
+// with identical scenarios and identical plans are bit-identical.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Kind names a fault type. The string values are stable identifiers used in
+// scenario JSON, event logs and CLI flags.
+type Kind string
+
+// The supported fault kinds.
+const (
+	MonitorDropout   Kind = "monitor-dropout"
+	MonitorFreeze    Kind = "monitor-freeze"
+	MonitorBias      Kind = "monitor-bias"
+	MeasurementDelay Kind = "measurement-delay"
+	ActuatorStuck    Kind = "actuator-stuck"
+	ActuatorLag      Kind = "actuator-lag"
+	ServerCrash      Kind = "server-crash"
+	UPSPathFailure   Kind = "ups-path-failure"
+	UPSGaugeBias     Kind = "ups-gauge-bias"
+)
+
+// Kinds returns every supported fault kind, in taxonomy order.
+func Kinds() []Kind {
+	return []Kind{
+		MonitorDropout, MonitorFreeze, MonitorBias, MeasurementDelay,
+		ActuatorStuck, ActuatorLag, ServerCrash, UPSPathFailure,
+		UPSGaugeBias,
+	}
+}
+
+// valid reports whether k is a known kind.
+func (k Kind) valid() bool {
+	for _, known := range Kinds() {
+		if k == known {
+			return true
+		}
+	}
+	return false
+}
+
+// perServer reports whether the kind targets one server (Server field used).
+func (k Kind) perServer() bool {
+	return k == ActuatorStuck || k == ActuatorLag || k == ServerCrash
+}
+
+// Fault is one schedulable failure: it becomes active at OnsetS and clears
+// DurationS later. Severity is kind-specific (see the package comment);
+// kinds without a natural severity ignore it. Server selects the affected
+// server for per-server kinds; AllServers (-1) hits the whole rack.
+type Fault struct {
+	Kind      Kind    `json:"Kind"`
+	OnsetS    float64 `json:"OnsetS"`
+	DurationS float64 `json:"DurationS"`
+	Severity  float64 `json:"Severity,omitempty"`
+	Server    int     `json:"Server,omitempty"`
+}
+
+// AllServers targets every server with a per-server fault kind.
+const AllServers = -1
+
+// String formats the fault for logs and events.
+func (f Fault) String() string {
+	s := fmt.Sprintf("%s onset=%gs duration=%gs", f.Kind, f.OnsetS, f.DurationS)
+	if f.Severity != 0 {
+		s += fmt.Sprintf(" severity=%g", f.Severity)
+	}
+	if f.Kind.perServer() {
+		if f.Server == AllServers {
+			s += " server=all"
+		} else {
+			s += fmt.Sprintf(" server=%d", f.Server)
+		}
+	}
+	return s
+}
+
+// Active reports whether the fault is active at time now (onset inclusive,
+// clear exclusive).
+func (f Fault) Active(now float64) bool {
+	return now >= f.OnsetS && now < f.OnsetS+f.DurationS
+}
+
+// Validate reports structural errors in one fault.
+func (f Fault) Validate() error {
+	if !f.Kind.valid() {
+		return fmt.Errorf("faults: unknown kind %q", f.Kind)
+	}
+	if math.IsNaN(f.OnsetS) || math.IsInf(f.OnsetS, 0) || f.OnsetS < 0 {
+		return fmt.Errorf("faults: %s: onset %g must be finite and non-negative", f.Kind, f.OnsetS)
+	}
+	if math.IsNaN(f.DurationS) || math.IsInf(f.DurationS, 0) || f.DurationS <= 0 {
+		return fmt.Errorf("faults: %s: duration %g must be finite and positive", f.Kind, f.DurationS)
+	}
+	if math.IsNaN(f.Severity) || math.IsInf(f.Severity, 0) {
+		return fmt.Errorf("faults: %s: severity must be finite", f.Kind)
+	}
+	switch f.Kind {
+	case MonitorBias:
+		if f.Severity <= -1 {
+			return fmt.Errorf("faults: monitor-bias severity %g must exceed -1", f.Severity)
+		}
+	case MeasurementDelay:
+		if f.Severity <= 0 {
+			return fmt.Errorf("faults: measurement-delay severity %g must be a positive delay in seconds", f.Severity)
+		}
+	case ActuatorLag:
+		if f.Severity <= 0 || f.Severity >= 1 {
+			return fmt.Errorf("faults: actuator-lag severity %g must be in (0, 1)", f.Severity)
+		}
+	case UPSGaugeBias:
+		if f.Severity < -1 || f.Severity > 1 {
+			return fmt.Errorf("faults: ups-gauge-bias severity %g must be in [-1, 1]", f.Severity)
+		}
+	}
+	if f.Kind.perServer() {
+		if f.Server < AllServers {
+			return fmt.Errorf("faults: %s: server %d must be %d (all) or a server index", f.Kind, f.Server, AllServers)
+		}
+	} else if f.Server != 0 {
+		return fmt.Errorf("faults: %s is not a per-server fault (server must be 0)", f.Kind)
+	}
+	return nil
+}
+
+// Plan is the fault schedule of one run. The zero value injects nothing.
+type Plan struct {
+	Faults []Fault `json:"Faults,omitempty"`
+}
+
+// Empty reports whether the plan injects no faults.
+func (p Plan) Empty() bool { return len(p.Faults) == 0 }
+
+// Validate reports structural errors in the plan.
+func (p Plan) Validate() error {
+	for i, f := range p.Faults {
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("faults: fault %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ValidateForRack additionally checks server indices against a rack size.
+func (p Plan) ValidateForRack(numServers int) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for i, f := range p.Faults {
+		if f.Kind.perServer() && f.Server >= numServers {
+			return fmt.Errorf("faults: fault %d: server %d out of range (rack has %d)", i, f.Server, numServers)
+		}
+	}
+	return nil
+}
+
+// Injector is the per-run fault state machine. It tracks which faults are
+// active, corrupts the measurement stream, and reports the component-failure
+// state the engine applies to the rack and UPS each tick. Not safe for
+// concurrent use; one Injector per run.
+type Injector struct {
+	plan   Plan
+	dt     float64
+	active []bool
+
+	// Monitor corruption state.
+	lastRaw    float64 // most recent uncorrupted reading (delay source)
+	frozen     float64 // held reading while a freeze is active
+	haveFrozen bool
+	delayBuf   []float64 // ring buffer of past readings for MeasurementDelay
+	delayN     int       // valid entries in delayBuf
+	delayHead  int
+}
+
+// NewInjector builds the state machine for a validated plan and tick size.
+// It panics on an invalid plan or non-positive dt: the engine validates the
+// scenario (including the plan) before constructing the injector.
+func NewInjector(p Plan, dt float64) *Injector {
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("faults: NewInjector on invalid plan: %v", err))
+	}
+	if dt <= 0 || math.IsNaN(dt) {
+		panic(fmt.Sprintf("faults: NewInjector with dt %g", dt))
+	}
+	return &Injector{plan: p, dt: dt, active: make([]bool, len(p.Faults))}
+}
+
+// Step advances the schedule to time now and returns the faults whose active
+// state changed this tick: onsets became active, clears became inactive.
+// The caller (the engine) logs them and applies component state.
+func (in *Injector) Step(now float64) (onsets, clears []Fault) {
+	for i, f := range in.plan.Faults {
+		a := f.Active(now)
+		if a == in.active[i] {
+			continue
+		}
+		in.active[i] = a
+		if a {
+			onsets = append(onsets, f)
+		} else {
+			clears = append(clears, f)
+		}
+	}
+	return onsets, clears
+}
+
+// anyActive returns the first active fault of the kind (and ok), preferring
+// the largest severity when several overlap.
+func (in *Injector) anyActive(k Kind) (Fault, bool) {
+	var best Fault
+	found := false
+	for i, f := range in.plan.Faults {
+		if !in.active[i] || f.Kind != k {
+			continue
+		}
+		if !found || math.Abs(f.Severity) > math.Abs(best.Severity) {
+			best = f
+		}
+		found = true
+	}
+	return best, found
+}
+
+// FilterMeasurement corrupts one rack power-monitor reading according to the
+// active monitor faults. Must be called exactly once per tick with the raw
+// reading (it is stateful: the delay buffer and freeze value advance).
+func (in *Injector) FilterMeasurement(raw float64) float64 {
+	// Delay first: the delayed stream is what downstream faults corrupt.
+	out := raw
+	if f, ok := in.anyActive(MeasurementDelay); ok {
+		steps := int(math.Round(f.Severity / in.dt))
+		if steps < 1 {
+			steps = 1
+		}
+		out = in.delayed(raw, steps)
+	} else {
+		in.pushDelay(raw)
+	}
+	// Freeze holds the last delivered value from before the onset.
+	if _, ok := in.anyActive(MonitorFreeze); ok {
+		if !in.haveFrozen {
+			in.frozen = in.lastRaw
+			in.haveFrozen = true
+		}
+		out = in.frozen
+	} else {
+		in.haveFrozen = false
+	}
+	if f, ok := in.anyActive(MonitorBias); ok {
+		out *= 1 + f.Severity
+	}
+	if _, ok := in.anyActive(MonitorDropout); ok {
+		out = math.NaN()
+	}
+	in.lastRaw = raw
+	return out
+}
+
+// pushDelay records a reading into the delay ring buffer.
+func (in *Injector) pushDelay(raw float64) {
+	const maxDelaySteps = 128
+	if in.delayBuf == nil {
+		in.delayBuf = make([]float64, maxDelaySteps)
+	}
+	in.delayBuf[in.delayHead] = raw
+	in.delayHead = (in.delayHead + 1) % len(in.delayBuf)
+	if in.delayN < len(in.delayBuf) {
+		in.delayN++
+	}
+}
+
+// delayed records raw and returns the reading from `steps` ticks ago (the
+// oldest available during the fault's warm-up).
+func (in *Injector) delayed(raw float64, steps int) float64 {
+	in.pushDelay(raw)
+	if steps > len(in.delayBuf)-1 {
+		steps = len(in.delayBuf) - 1
+	}
+	if steps >= in.delayN {
+		steps = in.delayN - 1
+	}
+	idx := (in.delayHead - 1 - steps + 2*len(in.delayBuf)) % len(in.delayBuf)
+	return in.delayBuf[idx]
+}
+
+// FilterSoC corrupts the UPS state-of-charge reading and the derived
+// depleted indicator according to an active gauge-bias fault.
+func (in *Injector) FilterSoC(soc float64, depleted bool) (float64, bool) {
+	f, ok := in.anyActive(UPSGaugeBias)
+	if !ok {
+		return soc, depleted
+	}
+	biased := soc + f.Severity
+	if biased < 0 {
+		biased = 0
+	} else if biased > 1 {
+		biased = 1
+	}
+	// The depleted indicator is derived from the same gauge.
+	return biased, biased <= 0
+}
+
+// UPSPathFailed reports whether the battery discharge path is currently open.
+func (in *Injector) UPSPathFailed() bool {
+	_, ok := in.anyActive(UPSPathFailure)
+	return ok
+}
+
+// ServerState is the per-server component-failure state the engine applies
+// to the rack each tick.
+type ServerState struct {
+	Offline bool
+	Stuck   bool
+	// LagFrac is the fraction of a commanded frequency move the actuator
+	// applies per write (0 = no lag fault).
+	LagFrac float64
+}
+
+// ServerStates returns the failure state of every server index in
+// [0, numServers). Per-server faults with Server == AllServers apply to all.
+func (in *Injector) ServerStates(numServers int) []ServerState {
+	out := make([]ServerState, numServers)
+	for i, f := range in.plan.Faults {
+		if !in.active[i] || !f.Kind.perServer() {
+			continue
+		}
+		lo, hi := f.Server, f.Server+1
+		if f.Server == AllServers {
+			lo, hi = 0, numServers
+		}
+		if lo < 0 || lo >= numServers {
+			continue
+		}
+		if hi > numServers {
+			hi = numServers
+		}
+		for s := lo; s < hi; s++ {
+			switch f.Kind {
+			case ServerCrash:
+				out[s].Offline = true
+			case ActuatorStuck:
+				out[s].Stuck = true
+			case ActuatorLag:
+				out[s].LagFrac = f.Severity
+			}
+		}
+	}
+	return out
+}
+
+// ErrParse reports a malformed fault spec string.
+var ErrParse = errors.New("faults: bad fault spec")
+
+// Parse builds a fault from the CLI spec "kind:onset:duration[:severity[:server]]",
+// e.g. "monitor-freeze:30:300" or "actuator-stuck:60:400:0:3".
+func Parse(spec string) (Fault, error) {
+	var onset, dur, sev float64
+	server := 0
+	parts := splitColon(spec)
+	if len(parts) < 3 || len(parts) > 5 {
+		return Fault{}, fmt.Errorf("%w: %q (want kind:onset:duration[:severity[:server]])", ErrParse, spec)
+	}
+	kind := parts[0]
+	if _, err := fmt.Sscanf(parts[1], "%g", &onset); err != nil {
+		return Fault{}, fmt.Errorf("%w: onset %q", ErrParse, parts[1])
+	}
+	if _, err := fmt.Sscanf(parts[2], "%g", &dur); err != nil {
+		return Fault{}, fmt.Errorf("%w: duration %q", ErrParse, parts[2])
+	}
+	if len(parts) > 3 {
+		if _, err := fmt.Sscanf(parts[3], "%g", &sev); err != nil {
+			return Fault{}, fmt.Errorf("%w: severity %q", ErrParse, parts[3])
+		}
+	}
+	if len(parts) > 4 {
+		if _, err := fmt.Sscanf(parts[4], "%d", &server); err != nil {
+			return Fault{}, fmt.Errorf("%w: server %q", ErrParse, parts[4])
+		}
+	}
+	f := Fault{Kind: Kind(kind), OnsetS: onset, DurationS: dur, Severity: sev, Server: server}
+	if err := f.Validate(); err != nil {
+		return Fault{}, err
+	}
+	return f, nil
+}
+
+func splitColon(s string) []string {
+	var parts []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' {
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, s[start:])
+}

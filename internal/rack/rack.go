@@ -82,6 +82,19 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// FaultState is the injected component-failure condition of one server,
+// applied by the simulation engine each tick. The zero value is healthy.
+type FaultState struct {
+	// Offline marks a crashed server: it draws no power, executes no
+	// work and reports no telemetry until it recovers.
+	Offline bool
+	// Stuck makes the server's DVFS actuator silently ignore writes.
+	Stuck bool
+	// LagFrac, when non-zero, makes each frequency write move only this
+	// fraction of the way from the current frequency to the command.
+	LagFrac float64
+}
+
 // Rack is the assembled simulation target.
 type Rack struct {
 	cfg     Config
@@ -91,6 +104,7 @@ type Rack struct {
 	jobs    map[CoreRef]*workload.BatchJob
 	env     server.Environment
 	rng     *rand.Rand
+	faults  []FaultState
 }
 
 // New assembles a rack with all interactive cores at peak frequency and all
@@ -122,7 +136,31 @@ func New(cfg Config) (*Rack, error) {
 		}
 		r.servers = append(r.servers, s)
 	}
+	r.faults = make([]FaultState, cfg.NumServers)
 	return r, nil
+}
+
+// SetFaultState applies an injected failure condition to one server.
+func (r *Rack) SetFaultState(serverIdx int, st FaultState) {
+	if serverIdx < 0 || serverIdx >= len(r.faults) {
+		return
+	}
+	r.faults[serverIdx] = st
+}
+
+// FaultStateOf returns the current failure condition of one server.
+func (r *Rack) FaultStateOf(serverIdx int) FaultState {
+	if serverIdx < 0 || serverIdx >= len(r.faults) {
+		return FaultState{}
+	}
+	return r.faults[serverIdx]
+}
+
+// ServerOffline reports whether a server is currently crashed. Controllers
+// may use this: a dead server is detectable in practice via heartbeat loss,
+// unlike a silently stuck actuator.
+func (r *Rack) ServerOffline(serverIdx int) bool {
+	return r.FaultStateOf(serverIdx).Offline
 }
 
 // Config returns the rack configuration.
@@ -183,6 +221,12 @@ func (r *Rack) ApplyInteractiveDemand(demand float64) {
 		if r.cfg.UtilJitterStd > 0 {
 			u += r.rng.NormFloat64() * r.cfg.UtilJitterStd
 		}
+		if r.faults[ref.Server].Offline {
+			// A crashed server serves nothing; its share of the demand
+			// is lost (requests fail over outside the rack).
+			r.servers[ref.Server].CPU().SetUtil(ref.Core, 0)
+			continue
+		}
 		f := r.servers[ref.Server].CPU().Core(ref.Core).Freq
 		if f > 0 {
 			u *= fmax / f
@@ -191,11 +235,32 @@ func (r *Rack) ApplyInteractiveDemand(demand float64) {
 	}
 }
 
+// SetCoreFreq is the rack's single DVFS actuation path: every frequency
+// write — SprintCon's MPC moves and the baselines' theta walks alike — goes
+// through it, so injected actuator faults (stuck, lagging) and server
+// crashes affect all policies. It returns the frequency actually applied,
+// which the caller can compare against the command to detect a stuck
+// actuator.
+func (r *Rack) SetCoreFreq(ref CoreRef, f float64) float64 {
+	if ref.Server < 0 || ref.Server >= len(r.servers) {
+		return 0
+	}
+	st := r.faults[ref.Server]
+	cur := r.servers[ref.Server].CPU().Core(ref.Core).Freq
+	if st.Offline || st.Stuck {
+		return cur
+	}
+	if st.LagFrac > 0 && st.LagFrac < 1 {
+		f = cur + st.LagFrac*(f-cur)
+	}
+	return r.servers[ref.Server].CPU().SetFreq(ref.Core, f)
+}
+
 // SetInteractiveFreq sets every interactive core to frequency f (the
 // SprintCon policy keeps this at peak during sprints; SGCT baselines vary it).
 func (r *Rack) SetInteractiveFreq(f float64) {
 	for _, ref := range r.inter {
-		r.servers[ref.Server].CPU().SetFreq(ref.Core, f)
+		r.SetCoreFreq(ref, f)
 	}
 }
 
@@ -207,7 +272,7 @@ func (r *Rack) SetBatchFreqs(freqs []float64) ([]float64, error) {
 	}
 	applied := make([]float64, len(freqs))
 	for i, ref := range r.batch {
-		applied[i] = r.servers[ref.Server].CPU().SetFreq(ref.Core, freqs[i])
+		applied[i] = r.SetCoreFreq(ref, freqs[i])
 	}
 	return applied, nil
 }
@@ -229,7 +294,8 @@ func (r *Rack) AdvanceBatch(dt, now float64) {
 	for _, ref := range r.batch {
 		c := r.servers[ref.Server].CPU().Core(ref.Core)
 		j := r.jobs[ref]
-		if j == nil {
+		if j == nil || r.faults[ref.Server].Offline {
+			// No job, or a crashed server: no work executes this tick.
 			r.servers[ref.Server].CPU().SetUtil(ref.Core, 0)
 			continue
 		}
@@ -240,10 +306,14 @@ func (r *Rack) AdvanceBatch(dt, now float64) {
 
 // --- Power monitoring ------------------------------------------------------
 
-// TruePower returns the exact rack power (measurement model, no monitor noise).
+// TruePower returns the exact rack power (measurement model, no monitor
+// noise). Crashed servers draw nothing.
 func (r *Rack) TruePower() float64 {
 	var p float64
-	for _, s := range r.servers {
+	for i, s := range r.servers {
+		if r.faults[i].Offline {
+			continue
+		}
 		p += s.Power(r.env)
 	}
 	return p
@@ -252,7 +322,10 @@ func (r *Rack) TruePower() float64 {
 // TruePowerOfClass returns the exact rack power attributable to a class.
 func (r *Rack) TruePowerOfClass(cl cpu.Class) float64 {
 	var p float64
-	for _, s := range r.servers {
+	for i, s := range r.servers {
+		if r.faults[i].Offline {
+			continue
+		}
 		p += s.PowerOfClass(cl, r.env)
 	}
 	return p
@@ -279,6 +352,12 @@ func (r *Rack) EstimateInteractivePower() float64 {
 	co := r.cfg.ServerParams.InteractiveCoeffs()
 	var p float64
 	for _, ref := range r.inter {
+		if r.faults[ref.Server].Offline {
+			// A dead server's heartbeat loss is visible to the
+			// controller; its cores are excluded from the estimate so
+			// Eq. (6)'s subtraction stays consistent with the monitor.
+			continue
+		}
 		u := r.servers[ref.Server].CPU().Core(ref.Core).Util
 		p += co.KWPerGHz*u + co.CIdleShareW
 	}
@@ -323,6 +402,9 @@ func (r *Rack) MeanBatchFreqNorm() float64 {
 	}
 	var sum float64
 	for _, ref := range r.batch {
+		if r.faults[ref.Server].Offline {
+			continue // a dark core executes at frequency 0
+		}
 		sum += r.servers[ref.Server].CPU().Core(ref.Core).Freq
 	}
 	return sum / float64(len(r.batch)) / r.cfg.ServerParams.PStates.Max()
@@ -336,6 +418,9 @@ func (r *Rack) MeanInteractiveFreqNorm() float64 {
 	}
 	var sum float64
 	for _, ref := range r.inter {
+		if r.faults[ref.Server].Offline {
+			continue
+		}
 		sum += r.servers[ref.Server].CPU().Core(ref.Core).Freq
 	}
 	return sum / float64(len(r.inter)) / r.cfg.ServerParams.PStates.Max()

@@ -13,6 +13,11 @@ type Event struct {
 	T    float64 // simulation time in seconds
 	Kind string  // stable machine-readable kind, e.g. "cb-trip"
 	Msg  string  // human-readable detail
+	// Seq is the append order within the run; it breaks ties between
+	// events stamped at the same instant (e.g. a fault onset and the
+	// supervisor reaction it provokes) so that identical runs always
+	// produce byte-identical logs.
+	Seq int
 }
 
 // String formats the event for logs.
@@ -36,14 +41,26 @@ func (l *EventLog) SetNow(t float64) { l.now = t }
 
 // Logf appends an event at the current simulation time.
 func (l *EventLog) Logf(kind, format string, args ...interface{}) {
-	l.events = append(l.events, Event{T: l.now, Kind: kind, Msg: fmt.Sprintf(format, args...)})
+	l.events = append(l.events, Event{
+		T:    l.now,
+		Kind: kind,
+		Msg:  fmt.Sprintf(format, args...),
+		Seq:  len(l.events),
+	})
 }
 
-// Events returns the recorded events in time order.
+// Events returns the recorded events in stable time order: ties at the same
+// instant keep their append order via Seq, so two identical seeded runs
+// render byte-identical logs.
 func (l *EventLog) Events() []Event {
 	out := make([]Event, len(l.events))
 	copy(out, l.events)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		return out[i].Seq < out[j].Seq
+	})
 	return out
 }
 

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"sprintcon/internal/breaker"
+	"sprintcon/internal/faults"
 	"sprintcon/internal/rack"
 	"sprintcon/internal/ups"
 	"sprintcon/internal/workload"
@@ -101,6 +102,8 @@ type Scenario struct {
 	// Trace, when non-nil, replaces the generated interactive trace —
 	// e.g. a production trace loaded with workload.TraceFromCSV.
 	Trace *workload.InteractiveTrace
+	// Faults is the run's fault-injection schedule (empty = no faults).
+	Faults faults.Plan
 }
 
 // DefaultScenario returns the paper's evaluation setup: a 15-minute sprint
@@ -123,8 +126,29 @@ func DefaultScenario() Scenario {
 	}
 }
 
-// Validate reports structural errors in the scenario.
+// Validate reports structural errors in the scenario. Beyond the zero
+// checks it rejects NaN/Inf in every numeric field: a single NaN duration
+// or ambient swing silently corrupts an entire run's physics, so it must be
+// caught at configuration time with a descriptive error.
 func (s Scenario) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"DurationS", s.DurationS},
+		{"DtS", s.DtS},
+		{"BurstDurationS", s.BurstDurationS},
+		{"BatchDeadlineS", s.BatchDeadlineS},
+		{"WorkFillMin", s.WorkFillMin},
+		{"WorkFillMax", s.WorkFillMax},
+		{"WorkReferenceS", s.WorkReferenceS},
+		{"AmbientBaseC", s.AmbientBaseC},
+		{"AmbientSwingC", s.AmbientSwingC},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("sim: %s is %g; every scenario field must be finite", f.name, f.v)
+		}
+	}
 	switch {
 	case s.DurationS <= 0 || s.DtS <= 0:
 		return errors.New("sim: duration and dt must be positive")
@@ -146,6 +170,9 @@ func (s Scenario) Validate() error {
 		return err
 	}
 	if err := s.UPS.Validate(); err != nil {
+		return err
+	}
+	if err := s.Faults.ValidateForRack(s.Rack.NumServers); err != nil {
 		return err
 	}
 	return s.Interactive.Validate()
@@ -238,11 +265,24 @@ func Run(scn Scenario, p Policy) (*Result, error) {
 
 	reporter, _ := p.(TargetReporter)
 
+	// Fault injection: nil when the plan is empty, so fault-free runs
+	// follow the exact legacy code path (bit-identical results).
+	var inj *faults.Injector
+	if !scn.Faults.Empty() {
+		inj = faults.NewInjector(scn.Faults, scn.DtS)
+	}
+
 	steps := int(math.Round(scn.DurationS / scn.DtS))
 	dt := scn.DtS
+	initialMeasured := env.Rack.MeasuredPower()
+	if inj != nil {
+		// Primes the injector's last-reading state before any fault is
+		// active, so an onset-0 freeze holds a real pre-fault value.
+		initialMeasured = inj.FilterMeasurement(initialMeasured)
+	}
 	snap := Snapshot{
 		Dt:             dt,
-		MeasuredTotalW: env.Rack.MeasuredPower(),
+		MeasuredTotalW: initialMeasured,
 		CBPowerW:       env.Rack.TruePower(),
 		UPSSoC:         env.UPS.SoC(),
 	}
@@ -254,6 +294,25 @@ func Run(scn Scenario, p Policy) (*Result, error) {
 		now := float64(step) * dt
 		env.Events.SetNow(now)
 		env.Rack.SetAmbient(scn.AmbientBaseC + scn.AmbientSwingC*math.Sin(2*math.Pi*now/1800))
+
+		if inj != nil {
+			onsets, clears := inj.Step(now)
+			for _, f := range onsets {
+				env.Events.Logf("fault-onset", "%s", f)
+			}
+			for _, f := range clears {
+				env.Events.Logf("fault-clear", "%s cleared", f.Kind)
+			}
+			if len(onsets)+len(clears) > 0 {
+				for i, st := range inj.ServerStates(scn.Rack.NumServers) {
+					env.Rack.SetFaultState(i, rack.FaultState{
+						Offline: st.Offline,
+						Stuck:   st.Stuck,
+						LagFrac: st.LagFrac,
+					})
+				}
+			}
+		}
 
 		if outage {
 			// The rack is dark: breaker cools; nothing executes.
@@ -269,6 +328,9 @@ func Run(scn Scenario, p Policy) (*Result, error) {
 			res.OutageS += dt
 			recordTick(res, reporter, now, 0, 0, 0, env, true)
 			snap = nextSnapshot(now+dt, dt, 0, 0, 0, env, true)
+			if inj != nil {
+				snap.UPSSoC, snap.UPSDepleted = inj.FilterSoC(snap.UPSSoC, snap.UPSDepleted)
+			}
 			continue
 		}
 
@@ -282,10 +344,16 @@ func Run(scn Scenario, p Policy) (*Result, error) {
 
 		pTotal := env.Rack.TruePower()
 		measured := env.Rack.MeasuredPower()
+		if inj != nil {
+			measured = inj.FilterMeasurement(measured)
+		}
+		upsPathOpen := inj != nil && inj.UPSPathFailed()
 
 		var cbW, upsW float64
 		if !env.Breaker.Tripped() {
-			upsW = env.UPS.Discharge(upsReq, pTotal, dt)
+			if !upsPathOpen {
+				upsW = env.UPS.Discharge(upsReq, pTotal, dt)
+			}
 			cbW = env.Breaker.Step(pTotal-upsW, dt)
 			if env.Breaker.Tripped() {
 				res.CBTrips++
@@ -298,7 +366,9 @@ func Run(scn Scenario, p Policy) (*Result, error) {
 			if env.Breaker.CanReclose() {
 				_ = env.Breaker.Reclose()
 			}
-			upsW = env.UPS.Discharge(pTotal, pTotal, dt)
+			if !upsPathOpen {
+				upsW = env.UPS.Discharge(pTotal, pTotal, dt)
+			}
 			if upsW < pTotal-1e-6 {
 				outage = true
 				env.Events.Logf("outage", "UPS exhausted with the breaker open; rack dark")
@@ -326,6 +396,9 @@ func Run(scn Scenario, p Policy) (*Result, error) {
 		}
 
 		snap = nextSnapshot(now+dt, dt, measured, cbW, upsW, env, outage)
+		if inj != nil {
+			snap.UPSSoC, snap.UPSDepleted = inj.FilterSoC(snap.UPSSoC, snap.UPSDepleted)
+		}
 	}
 
 	finalize(res, env, controlledTicks, overTicks, trackErrSum)

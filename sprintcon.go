@@ -37,6 +37,7 @@ import (
 	"sprintcon/internal/core"
 	"sprintcon/internal/daily"
 	"sprintcon/internal/experiments"
+	"sprintcon/internal/faults"
 	"sprintcon/internal/qos"
 	"sprintcon/internal/sim"
 	"sprintcon/internal/workload"
@@ -72,6 +73,14 @@ type (
 	DailyPlan = daily.Plan
 	// DailyOutcome is an evaluated operating regime.
 	DailyOutcome = daily.Outcome
+	// FaultPlan schedules runtime fault injections for a run
+	// (Scenario.Faults).
+	FaultPlan = faults.Plan
+	// Fault is one scheduled fault (kind, onset, duration, severity,
+	// target server).
+	Fault = faults.Fault
+	// FaultKind names an injectable fault type.
+	FaultKind = faults.Kind
 )
 
 // DefaultScenario returns the paper's evaluation setup: 16 servers with
@@ -116,6 +125,14 @@ func SpecCPU2006() []BatchSpec { return workload.SpecCPU2006() }
 // TraceFromCSV loads an interactive demand trace (time_s,demand_frac) for
 // replay through Scenario.Trace.
 func TraceFromCSV(r io.Reader) (*InteractiveTrace, error) { return workload.TraceFromCSV(r) }
+
+// FaultKinds lists every injectable fault kind.
+func FaultKinds() []FaultKind { return faults.Kinds() }
+
+// ParseFault builds a fault from the CLI-style spec
+// "kind:onset:duration[:severity[:server]]",
+// e.g. "monitor-freeze:30:300" or "actuator-stuck:60:400:0:3".
+func ParseFault(spec string) (Fault, error) { return faults.Parse(spec) }
 
 // DefaultQoSConfig returns the web-serving latency model defaults.
 func DefaultQoSConfig() QoSConfig { return qos.DefaultConfig() }
