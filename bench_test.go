@@ -13,6 +13,7 @@ package sprintcon
 // time use) are the quantities to compare against the paper.
 
 import (
+	"io"
 	"testing"
 
 	"sprintcon/internal/experiments"
@@ -169,4 +170,39 @@ func BenchmarkSprintConTick(b *testing.B) {
 	if _, err := Run(scn, New(DefaultConfig())); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// benchRunWith runs the default scenario repeatedly with the given options
+// and reports per-tick cost, for comparing the telemetry tax.
+func benchRunWith(b *testing.B, mkOpts func() RunOptions) {
+	b.Helper()
+	scn := DefaultScenario()
+	scn.DurationS = 120
+	scn.BurstDurationS = 120
+	scn.BatchDeadlineS = 96
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunWith(scn, New(DefaultConfig()), mkOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunTelemetryOff is the baseline for the telemetry-tax pair: a
+// run with no registry and no sink, i.e. the legacy hot path where every
+// instrument is a nil no-op. Compare against BenchmarkRunTelemetryOn — the
+// design requires the Off/On gap under ~2 % and Off to match plain Run.
+func BenchmarkRunTelemetryOff(b *testing.B) {
+	benchRunWith(b, func() RunOptions { return RunOptions{} })
+}
+
+// BenchmarkRunTelemetryOn measures the fully instrumented run: metrics
+// registry plus a decision trace encoded to io.Discard.
+func BenchmarkRunTelemetryOn(b *testing.B) {
+	benchRunWith(b, func() RunOptions {
+		return RunOptions{
+			Metrics:   NewMetricsRegistry(),
+			Decisions: NewDecisionSink(io.Discard),
+		}
+	})
 }

@@ -8,7 +8,10 @@
 //
 // Experiments: fig1 fig2 fig3 fig5 fig6 fig7 fig8a fig8b headline
 // ablation-controller ablation-schedule ablation-ups sensitivity qos
-// daily-cost faults all.
+// daily-cost faults telemetry all.
+//
+// -cpuprofile and -memprofile write pprof profiles of the selected
+// experiment run (the usual entry point for optimizing the simulator).
 package main
 
 import (
@@ -20,16 +23,38 @@ import (
 	"sprintcon/internal/experiments"
 	"sprintcon/internal/seriesio"
 	"sprintcon/internal/sim"
+	"sprintcon/internal/telemetry"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		exp  = flag.String("exp", "all", "experiment id (see package doc)")
-		plot = flag.Bool("plot", false, "print ASCII sparkline plots for time-series figures")
+		exp        = flag.String("exp", "all", "experiment id (see package doc)")
+		plot       = flag.Bool("plot", false, "print ASCII sparkline plots for time-series figures")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile after the experiment to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
 
 	switch *exp {
 	case "all":
@@ -101,6 +126,8 @@ func main() {
 		print1(experiments.SprintingBenefit())
 	case "faults":
 		print1(experiments.FaultMatrix())
+	case "telemetry":
+		print1(experiments.TelemetrySummary())
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}

@@ -5,11 +5,17 @@
 //
 //	sprintsim -policy sprintcon -deadline 720 -duration 900 [-csv out.csv]
 //	sprintsim -policy sgct-v2 -fault ups-path-failure:100:500 -events
+//	sprintsim -trace-jsonl decisions.jsonl -metrics-addr :9090 -hold
 //
 // Policies: sprintcon, sprintcon-pi, sgct, sgct-v1, sgct-v2.
 // The repeatable -fault flag injects runtime faults
 // (kind:onset:duration[:severity[:server]]); -unhardened strips SprintCon's
 // defenses to reproduce the paper-faithful fault-oblivious controller.
+//
+// Observability: -trace-jsonl streams one structured decision record per
+// control period; -metrics-addr serves Prometheus /metrics, a /status JSON
+// snapshot of the running simulation and net/http/pprof; -cpuprofile and
+// -memprofile write pprof profiles of the run itself.
 package main
 
 import (
@@ -17,12 +23,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"sprintcon/internal/baseline"
 	"sprintcon/internal/core"
 	"sprintcon/internal/faults"
 	"sprintcon/internal/seriesio"
 	"sprintcon/internal/sim"
+	"sprintcon/internal/telemetry"
 	"sprintcon/internal/workload"
 )
 
@@ -63,6 +71,12 @@ func main() {
 		scenPath   = flag.String("scenario", "", "load the scenario from this JSON file (see -dump-scenario)")
 		dumpScen   = flag.Bool("dump-scenario", false, "print the default scenario as JSON and exit")
 		unhardened = flag.Bool("unhardened", false, "disable SprintCon's fault defenses (paper-faithful controller)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /status JSON and /debug/pprof on this address (e.g. :9090)")
+		traceJSONL  = flag.String("trace-jsonl", "", "write one JSON decision record per control period to this file")
+		holdServer  = flag.Bool("hold", false, "with -metrics-addr: keep serving after the run until interrupted")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile after the run to this file")
 	)
 	var flist faultList
 	flag.Var(&flist, "fault", "inject a fault, kind:onset:duration[:severity[:server]] (repeatable); kinds: "+kindList())
@@ -113,9 +127,63 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sim.Run(scn, policy)
+
+	// Telemetry wiring: everything below is opt-in and nil when unused, so
+	// a plain run carries no instrumentation cost.
+	var opts sim.RunOptions
+	if *metricsAddr != "" || *traceJSONL != "" {
+		opts.Metrics = telemetry.NewRegistry()
+	}
+	var traceFile *os.File
+	if *traceJSONL != "" {
+		traceFile, err = os.Create(*traceJSONL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Decisions = telemetry.NewDecisionSink(traceFile)
+	}
+	var stopServer func() error
+	if *metricsAddr != "" {
+		opts.Status = telemetry.NewRunStatus()
+		bound, stop, err := telemetry.Serve(*metricsAddr, telemetry.Handler(opts.Metrics, opts.Status))
+		if err != nil {
+			log.Fatal(err)
+		}
+		stopServer = stop
+		fmt.Printf("serving /metrics, /status, /debug/pprof on http://%s\n", bound)
+	}
+	stopCPUProfile := func() error { return nil }
+	if *cpuProfile != "" {
+		stopCPUProfile, err = telemetry.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res, err := sim.RunWith(scn, policy, opts)
+	// The profile covers the run only, not report writing or -hold idling.
+	if perr := stopCPUProfile(); perr != nil {
+		log.Print(perr)
+	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *memProfile != "" {
+		if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if traceFile != nil {
+		// Surface sink write errors and the Close error: a silently
+		// truncated trace is worse than no trace.
+		if err := opts.Decisions.Err(); err != nil {
+			log.Fatalf("decision trace: %v", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			log.Fatalf("decision trace: %v", err)
+		}
+		fmt.Printf("decision trace (%d records) written to %s\n", opts.Decisions.Count(), *traceJSONL)
 	}
 
 	printSummary(res)
@@ -139,11 +207,29 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		if err := seriesio.WriteCSV(f, &res.Series); err != nil {
-			log.Fatal(err)
+		werr := seriesio.WriteCSV(f, &res.Series)
+		// Close is checked before claiming success: WriteCSV flushes
+		// through buffers whose write errors can surface only at Close,
+		// and a deferred Close would have discarded them.
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			log.Fatal(werr)
 		}
 		fmt.Printf("time series written to %s\n", *csvPath)
+	}
+
+	if stopServer != nil {
+		if *holdServer {
+			fmt.Println("run finished; still serving (interrupt to exit)")
+			ch := make(chan os.Signal, 1)
+			signal.Notify(ch, os.Interrupt)
+			<-ch
+		}
+		if err := stopServer(); err != nil {
+			log.Print(err)
+		}
 	}
 }
 

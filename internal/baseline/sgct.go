@@ -26,6 +26,7 @@ import (
 	"sprintcon/internal/cpu"
 	"sprintcon/internal/rack"
 	"sprintcon/internal/sim"
+	"sprintcon/internal/telemetry"
 )
 
 // Variant selects the baseline behaviour.
@@ -72,6 +73,13 @@ type Policy struct {
 	recoveryS float64
 
 	curPCb float64
+	// Telemetry instruments, resolved once in Start (nil-safe no-ops when
+	// the run carries no registry). The baselines report through the same
+	// metric names as SprintCon where the semantics match, so dashboards
+	// and the experiments harness compare policies without translation.
+	pcbGauge    *telemetry.Gauge
+	thetaGauge  *telemetry.Gauge
+	sprintCores *telemetry.Gauge
 	// lastSprinted tracks, per core, when it last ran at (near) peak.
 	// The cooperative game rotates sprint grants: a core that has waited
 	// long accumulates priority, so low-utilization cores are not
@@ -126,6 +134,9 @@ func (p *Policy) Start(env *sim.Env, scn sim.Scenario) error {
 	p.recoveryS = 300
 	p.curPCb = p.rated * p.degree
 	p.lastSprinted = make(map[coreKey]float64)
+	p.pcbGauge = env.Metrics.Gauge("pcb_target_w", "effective circuit-breaker power budget")
+	p.thetaGauge = env.Metrics.Gauge("sgct_theta", "sprint extent: cores granted (near-)peak frequency")
+	p.sprintCores = env.Metrics.Gauge("sgct_candidate_cores", "cores above the cooperative sprint threshold")
 
 	// Nominal frequency: the power-capped operating point of the rack
 	// before sprinting — the linear model's per-core share of the rating.
@@ -186,11 +197,11 @@ func (p *Policy) Tick(env *sim.Env, snap sim.Snapshot) float64 {
 		}
 	}
 
+	var upsReqW float64
 	switch p.variant {
 	case SGCT:
 		// CB overload is the only knob; the UPS kicks in only when the
 		// engine routes power through it after a trip.
-		return 0
 	default:
 		// Backup use: discharge only what exceeds the current CB phase
 		// budget (zero during overload phases, total−rated during
@@ -198,8 +209,36 @@ func (p *Policy) Tick(env *sim.Env, snap sim.Snapshot) float64 {
 		// duty quantization from parking the breaker a hair above its
 		// rating, where its thermal state would never recover.
 		const backoffMarginW = 30
-		return math.Max(0, snap.MeasuredTotalW-(p.curPCb-backoffMarginW))
+		upsReqW = math.Max(0, snap.MeasuredTotalW-(p.curPCb-backoffMarginW))
 	}
+
+	p.pcbGauge.Set(p.curPCb)
+	p.thetaGauge.Set(theta)
+	p.sprintCores.Set(float64(len(cores)))
+	if env.Decisions != nil {
+		env.Decisions.Emit(&telemetry.Decision{
+			T:      now,
+			Policy: p.Name(),
+			// The sprinting game has no degradation ladder; the overload/
+			// recovery phase plays the role of a mode in the trace.
+			Mode: p.phaseName(now),
+			Alloc: &telemetry.AllocDecision{
+				PCbW:    telemetry.F(p.curPCb),
+				PBatchW: telemetry.F(math.NaN()),
+				Updated: true, // open-loop schedule recomputed every tick
+			},
+			UPS: &telemetry.UPSDecision{RequestW: upsReqW, SoC: snap.UPSSoC},
+		})
+	}
+	return upsReqW
+}
+
+// phaseName labels the point of the periodic overload schedule for traces.
+func (p *Policy) phaseName(now float64) string {
+	if math.Mod(now, p.overloadS+p.recoveryS) < p.overloadS {
+		return "overload"
+	}
+	return "recovery"
 }
 
 // coreRef identifies a prioritized core.

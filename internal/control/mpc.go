@@ -99,12 +99,45 @@ func (c MPCConfig) Validate() error {
 	return nil
 }
 
-// MPC is the model-predictive server power controller. It is stateless
-// between periods apart from its configuration: following the paper's
-// formulation, each period solves a fresh constrained optimization from the
-// latest feedback measurement (the receding-horizon principle).
+// MPC is the model-predictive server power controller. Control-wise it is
+// stateless between periods: following the paper's formulation, each period
+// solves a fresh constrained optimization from the latest feedback
+// measurement (the receding-horizon principle). The only retained state is
+// the last solve's diagnostics (LastSolve), which never feeds back into
+// control decisions.
 type MPC struct {
-	cfg MPCConfig
+	cfg  MPCConfig
+	last SolveStats
+}
+
+// SolveStats reports the diagnostics of the most recent Step, for the
+// telemetry layer's qp_iterations histogram and the decision trace.
+type SolveStats struct {
+	// Sweeps is the QP solver's coordinate-descent sweep count (0 when
+	// the unconstrained Cholesky shortcut was feasible).
+	Sweeps int
+	// Converged reports whether the KKT residual met tolerance.
+	Converged bool
+	// Objective is the QP objective at the solution.
+	Objective float64
+}
+
+// LastSolve returns the diagnostics of the most recent Step (zero value
+// before the first solve).
+func (m *MPC) LastSolve() SolveStats { return m.last }
+
+// ReferenceTrajectory returns the Eq. (7) reference trajectory in absolute
+// watts over the prediction horizon: the exponential approach from the
+// feedback power toward the target with time constant τ_r. The decision
+// trace records it so an operator can see what the controller was steering
+// toward, not just where it ended up.
+func (m *MPC) ReferenceTrajectory(pfbW, pTargetW float64) []float64 {
+	out := make([]float64, m.cfg.PredictionHorizon)
+	gap := pTargetW - pfbW
+	for h := 1; h <= m.cfg.PredictionHorizon; h++ {
+		out[h-1] = pfbW + gap*(1-math.Exp(-float64(h)*m.cfg.PeriodS/m.cfg.RefTimeConstS))
+	}
+	return out
 }
 
 // NewMPC returns a controller or an error for invalid configuration.
@@ -194,6 +227,7 @@ func (m *MPC) StepLocked(pfbW, pTargetW float64, freqs, rweights []float64, lock
 	if err != nil {
 		return nil, fmt.Errorf("control: MPC QP: %w", err)
 	}
+	m.last = SolveStats{Sweeps: res.Sweeps, Converged: res.Converged, Objective: res.Objective}
 	next := make([]float64, n)
 	for i := 0; i < n; i++ {
 		next[i] = freqs[i] + res.X[i]
@@ -272,6 +306,7 @@ func (m *MPC) stepFullHorizon(pfbW, pTargetW float64, freqs, rweights []float64,
 	if err != nil {
 		return nil, fmt.Errorf("control: full-horizon MPC QP: %w", err)
 	}
+	m.last = SolveStats{Sweeps: res.Sweeps, Converged: res.Converged, Objective: res.Objective}
 	next := make([]float64, n)
 	for i := 0; i < n; i++ {
 		next[i] = freqs[i] + res.X[i] // first cumulative move z_1

@@ -170,7 +170,11 @@ func (s *SprintCon) modelTotalW(pInterEstW float64) float64 {
 // downstream consumer must use instead of the raw reading.
 func (s *SprintCon) guardMeasurement(env *sim.Env, rawW, pInterEstW float64) float64 {
 	filtered, ok := s.hd.guard.Step(rawW, s.modelTotalW(pInterEstW))
+	if !ok {
+		s.tm.guardRejected.Inc()
+	}
 	conf := s.hd.guard.Confidence()
+	s.tm.guardConf.Set(conf)
 	s.allocator.SetConfidence(conf)
 	switch {
 	case !s.hd.degraded && conf < s.cfg.Harden.MinConfidence:
@@ -184,7 +188,6 @@ func (s *SprintCon) guardMeasurement(env *sim.Env, rawW, pInterEstW float64) flo
 			env.Events.Logf("watchdog", "measurement confidence %.2f restored: overload re-enabled", conf)
 		}
 	}
-	_ = ok
 	return filtered
 }
 

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"sprintcon/internal/alloc"
 	"sprintcon/internal/control"
@@ -153,6 +154,13 @@ type SprintCon struct {
 	// hd is the fault-defense state (nil when hardening is disabled).
 	hd *hardenState
 
+	// tm holds the registered telemetry instruments (zero value when the
+	// run is un-instrumented) and pending the decision-trace inputs of
+	// the current control period, emitted at the end of Tick once the
+	// UPS request is known.
+	tm      coreMetrics
+	pending *decisionInputs
+
 	// Online model estimation (optional).
 	rls         *control.RLS
 	kModel      float64 // slope the controllers currently use
@@ -220,6 +228,8 @@ func (s *SprintCon) Start(env *sim.Env, scn sim.Scenario) error {
 	s.mode = ModeNormal
 	s.lastCtl = math.Inf(-1)
 	s.everNearTrip, s.everDepleted = false, false
+	s.tm = newCoreMetrics(env.Metrics)
+	s.pending = nil
 
 	params := scn.Rack.ServerParams
 	co := params.DesignCoeffs(s.cfg.RefUtil)
@@ -361,6 +371,20 @@ func (s *SprintCon) Tick(env *sim.Env, snap sim.Snapshot) float64 {
 	if s.hd.enabled() {
 		s.hd.upsLastReqW = req
 	}
+	if s.tm.enabled {
+		s.tm.pcbW.Set(pcb)
+		s.tm.pbatchW.Set(s.curPBatch)
+		s.tm.reserveW.Set(s.allocator.InteractiveReserveW())
+		s.tm.shiftW.Set(s.allocator.DeadlineShiftW())
+		s.tm.modeNum.Set(float64(s.mode))
+		s.tm.upsReqW.Set(req)
+	}
+	if s.pending != nil {
+		// The control period's decision record becomes complete only
+		// here, where the UPS request is known.
+		env.Decisions.Emit(s.buildDecision(s.pending, req, snap.UPSSoC))
+		s.pending = nil
+	}
 	return req
 }
 
@@ -422,8 +446,11 @@ func (s *SprintCon) effectivePCb(now float64) float64 {
 // serverPowerControl runs one allocator + controller period.
 func (s *SprintCon) serverPowerControl(env *sim.Env, snap sim.Snapshot, pcb, pInterEst float64) {
 	now := snap.Now
-	pDeadline := s.deadlinePowerFloor(env, now)
-	s.allocator.MaybeUpdatePBatch(now, pDeadline, s.pBatchMin, s.pBatchMax)
+	pDeadline, urgency := s.deadlinePowerFloor(env, now)
+	updated := s.allocator.MaybeUpdatePBatch(now, pDeadline, s.pBatchMin, s.pBatchMax)
+	if updated {
+		s.tm.allocMoves.Inc()
+	}
 
 	pfb := env.Rack.BatchFeedback(snap.MeasuredTotalW)
 
@@ -464,17 +491,38 @@ func (s *SprintCon) serverPowerControl(env *sim.Env, snap sim.Snapshot, pcb, pIn
 			s.curPBatch, target, s.allocator.InteractiveReserveW(), s.allocator.DeadlineShiftW())
 	}
 	s.curPBatch = target
+	rweights := env.Rack.RWeights(now)
+	// Exclude cores with unresponsive actuators (and dark servers) from
+	// the move set: the optimizer must not budget power moves onto
+	// actuators that will not execute them.
+	var locked []bool
+	if s.hd.enabled() {
+		locked = s.lockedMask(env)
+	}
+	var solveStart time.Time
+	if s.tm.enabled {
+		solveStart = time.Now()
+	}
 	var next []float64
 	var err error
 	if s.cfg.Controller == ControllerPI {
 		next = s.pi.Step(pfb, target, s.cmdFreqs)
-	} else if s.hd.enabled() {
-		// Exclude cores with unresponsive actuators (and dark servers)
-		// from the move set: the optimizer must not budget power moves
-		// onto actuators that will not execute them.
-		next, err = s.mpc.StepLocked(pfb, target, s.cmdFreqs, env.Rack.RWeights(now), s.lockedMask(env))
+	} else if locked != nil {
+		next, err = s.mpc.StepLocked(pfb, target, s.cmdFreqs, rweights, locked)
 	} else {
-		next, err = s.mpc.Step(pfb, target, s.cmdFreqs, env.Rack.RWeights(now))
+		next, err = s.mpc.Step(pfb, target, s.cmdFreqs, rweights)
+	}
+	if s.tm.enabled {
+		// Wall-clock solve time lives only in this histogram, never in
+		// the decision trace, so traces stay deterministic.
+		s.tm.solveSeconds.Observe(time.Since(solveStart).Seconds())
+		if s.cfg.Controller != ControllerPI && err == nil {
+			stats := s.mpc.LastSolve()
+			s.tm.qpIterations.Observe(float64(stats.Sweeps))
+			if !stats.Converged {
+				s.tm.qpUnconverged.Inc()
+			}
+		}
 	}
 	if err != nil {
 		return // keep previous actuation; the QP cannot fail on valid state
@@ -488,6 +536,31 @@ func (s *SprintCon) serverPowerControl(env *sim.Env, snap sim.Snapshot, pcb, pIn
 			s.lastMoveSum += next[i] - s.cmdFreqs[i]
 		}
 	}
+	if env.Decisions != nil {
+		in := &decisionInputs{
+			now:            now,
+			pfbW:           pfb,
+			targetW:        target,
+			deadlineFloorW: pDeadline,
+			urgency:        urgency,
+			headroomUtil:   headroomUtil(pcb, target, s.idleEstW, pInterEst),
+			updated:        updated,
+			rweights:       rweights,
+			freqs:          next,
+			qp:             s.cfg.Controller != ControllerPI,
+		}
+		for _, l := range locked {
+			if l {
+				in.lockedCount++
+			}
+		}
+		if in.qp {
+			stats := s.mpc.LastSolve()
+			in.qpSweeps, in.qpConverged = stats.Sweeps, stats.Converged
+			in.refTraj = s.mpc.ReferenceTrajectory(pfb, target)
+		}
+		s.pending = in
+	}
 	s.cmdFreqs = next
 	applied, aerr := env.Rack.SetBatchFreqs(next)
 	if aerr != nil {
@@ -496,24 +569,29 @@ func (s *SprintCon) serverPowerControl(env *sim.Env, snap sim.Snapshot, pcb, pIn
 	if s.hd.enabled() {
 		s.observeActuation(env, next, applied)
 	}
+	s.observeActuationMetrics(env)
 }
 
 // deadlinePowerFloor estimates the batch power needed so every incomplete
 // job still meets its deadline (paper Section IV-B factor 1), using the
 // progress model to translate required rates into frequencies and the
-// linear design model to translate frequencies into power.
-func (s *SprintCon) deadlinePowerFloor(env *sim.Env, now float64) float64 {
-	var p float64
+// linear design model to translate frequencies into power. The second
+// return is the deadline urgency for the decision trace: the largest
+// unclamped per-job required frequency as a fraction of peak (1 means some
+// job needs peak from now on; > 1 means a miss is already unavoidable).
+func (s *SprintCon) deadlinePowerFloor(env *sim.Env, now float64) (floorW, urgency float64) {
 	for _, ref := range env.Rack.BatchCores() {
 		j := env.Rack.Job(ref)
 		if j == nil || j.Completed() {
-			p += s.kModel*s.fmin + s.cSharePer
+			floorW += s.kModel*s.fmin + s.cSharePer
 			continue
 		}
-		f := clamp(j.RequiredFreq(now, s.fmax), s.fmin, s.fmax)
-		p += s.kModel*f + s.cSharePer
+		req := j.RequiredFreq(now, s.fmax)
+		urgency = math.Max(urgency, req/s.fmax)
+		f := clamp(req, s.fmin, s.fmax)
+		floorW += s.kModel*f + s.cSharePer
 	}
-	return p
+	return floorW, urgency
 }
 
 // manageInteractive keeps interactive cores at peak frequency, or bids them

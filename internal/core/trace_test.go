@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sprintcon/internal/sim"
+	"sprintcon/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from the current output")
+
+// traceScenario is a short deterministic run: long enough for several MPC
+// control periods, short enough that the golden file stays reviewable.
+func traceScenario() sim.Scenario {
+	scn := sim.DefaultScenario()
+	scn.DurationS = 30
+	scn.BurstDurationS = 30
+	scn.Interactive.BurstEndS = 30
+	return scn
+}
+
+// TestDecisionTraceGolden pins the JSONL decision-trace schema: every field
+// in the trace is deterministic for a seeded scenario (wall-clock timings
+// live only in registry histograms), so the trace of a fixed run is
+// byte-stable and any schema or semantics change shows up as a golden diff.
+// Regenerate deliberately with: go test ./internal/core/ -run Golden -update
+func TestDecisionTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	sink := telemetry.NewDecisionSink(&buf)
+	_, err := sim.RunWith(traceScenario(), New(DefaultConfig()), sim.RunOptions{
+		Metrics:   telemetry.NewRegistry(),
+		Decisions: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Count() == 0 {
+		t.Fatal("no decisions emitted")
+	}
+
+	golden := filepath.Join("testdata", "decision_trace.golden.jsonl")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("decision trace diverged from %s (%d bytes vs %d); if the schema change is intentional, regenerate with -update",
+			golden, buf.Len(), len(want))
+	}
+}
+
+// TestDecisionTraceRoundTrip checks every emitted line is valid JSON that
+// decodes back into telemetry.Decision with the sections SprintCon owes:
+// alloc and MPC every control period, UPS always, guard when hardened.
+func TestDecisionTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := telemetry.NewDecisionSink(&buf)
+	if _, err := sim.RunWith(traceScenario(), New(DefaultConfig()), sim.RunOptions{Decisions: sink}); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var n int
+	lastT := -1.0
+	for sc.Scan() {
+		var d telemetry.Decision
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("line %d: %v", n+1, err)
+		}
+		if d.Policy != "SprintCon" {
+			t.Fatalf("line %d: policy = %q", n+1, d.Policy)
+		}
+		if d.Alloc == nil || d.MPC == nil || d.UPS == nil || d.Guard == nil {
+			t.Fatalf("line %d: missing section: %+v", n+1, d)
+		}
+		if d.T <= lastT {
+			t.Fatalf("line %d: time %v not increasing past %v", n+1, d.T, lastT)
+		}
+		lastT = d.T
+		if len(d.MPC.FreqsGHz) == 0 || len(d.MPC.RefTrajW) == 0 {
+			t.Fatalf("line %d: empty MPC vectors", n+1)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no trace lines")
+	}
+}

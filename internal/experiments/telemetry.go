@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"sprintcon/internal/baseline"
+	"sprintcon/internal/core"
+	"sprintcon/internal/sim"
+	"sprintcon/internal/telemetry"
+)
+
+// TelemetrySummary runs the default scenario under every policy with a
+// per-run metrics registry and tabulates the controller-effort counters the
+// registry accumulates: how often the QP needed constrained sweeps, how
+// hard the allocator adapted, what the guard rejected. It exists both as an
+// at-a-glance controller-effort comparison and as an end-to-end exercise of
+// the telemetry path through sim.RunWith for every policy family.
+//
+// Only deterministic instruments are reported (wall-clock histograms such
+// as mpc_solve_seconds are deliberately excluded), so the table is stable
+// across machines and runs.
+func TelemetrySummary() (*Table, error) {
+	t := &Table{
+		ID:    "telemetry",
+		Title: "controller effort per policy (registry counters, default scenario)",
+		Columns: []string{"policy", "ticks", "cb_trips", "qp_solves", "qp_sweeps_mean",
+			"qp_unconverged", "alloc_moves", "guard_rejected", "decisions"},
+		Notes: []string{"qp_* empty for policies without an MPC loop; wall-clock histograms excluded (nondeterministic)"},
+	}
+	policies := []sim.Policy{
+		core.New(core.DefaultConfig()),
+		func() sim.Policy {
+			cfg := core.DefaultConfig()
+			cfg.Controller = core.ControllerPI
+			return core.New(cfg)
+		}(),
+		baseline.New(baseline.SGCT),
+		baseline.New(baseline.SGCTV1),
+		baseline.New(baseline.SGCTV2),
+	}
+	for _, p := range policies {
+		reg := telemetry.NewRegistry()
+		sink := telemetry.NewDecisionSink(discardWriter{})
+		res, err := sim.RunWith(sim.DefaultScenario(), p, sim.RunOptions{Metrics: reg, Decisions: sink})
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: %s: %w", p.Name(), err)
+		}
+		snap := res.Telemetry
+		qpSolves, qpMean := histStats(snap, "qp_iterations")
+		t.AddRow(res.Policy,
+			counterCell(snap, "sim_ticks_total"),
+			counterCell(snap, "cb_trips_total"),
+			qpSolves, qpMean,
+			counterCell(snap, "qp_unconverged_total"),
+			counterCell(snap, "alloc_budget_moves_total"),
+			counterCell(snap, "guard_rejected_samples_total"),
+			fmt.Sprintf("%d", sink.Count()))
+	}
+	return t, nil
+}
+
+// counterCell renders a counter/gauge value, or "-" if the policy never
+// registered the metric.
+func counterCell(s telemetry.Snapshot, name string) string {
+	p, ok := s.Get(name)
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", p.Value)
+}
+
+// histStats renders a histogram's observation count and mean ("-" when the
+// metric is absent or empty).
+func histStats(s telemetry.Snapshot, name string) (count, mean string) {
+	p, ok := s.Get(name)
+	if !ok || p.Count == 0 {
+		return "-", "-"
+	}
+	m := p.Value / float64(p.Count)
+	if math.IsNaN(m) {
+		return fmt.Sprintf("%d", p.Count), "-"
+	}
+	return fmt.Sprintf("%d", p.Count), fmt.Sprintf("%.2f", m)
+}
+
+// discardWriter swallows trace output; TelemetrySummary only wants the
+// sink's record count.
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }

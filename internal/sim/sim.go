@@ -10,10 +10,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"sprintcon/internal/breaker"
 	"sprintcon/internal/faults"
 	"sprintcon/internal/rack"
+	"sprintcon/internal/telemetry"
 	"sprintcon/internal/ups"
 	"sprintcon/internal/workload"
 )
@@ -28,6 +30,15 @@ type Env struct {
 	// through Logf (mode changes, budget moves), and the engine records
 	// trips, recloses and outage boundaries.
 	Events *EventLog
+	// Metrics is the run's telemetry registry. It is nil unless the run
+	// was started through RunWith with RunOptions.Metrics — all
+	// instruments obtained from a nil registry are nil and no-op, so
+	// policies instrument unconditionally.
+	Metrics *telemetry.Registry
+	// Decisions is the per-control-period decision-trace sink (JSONL).
+	// Nil unless enabled through RunOptions; telemetry.DecisionSink is
+	// nil-safe, so policies emit unconditionally.
+	Decisions *telemetry.DecisionSink
 }
 
 // Snapshot is the measurement set a policy sees at the start of a tick.
@@ -228,6 +239,10 @@ type Result struct {
 	InteractiveDemand workload.Stats
 	// Events is the run's structured event log, time-ordered.
 	Events []Event
+	// Telemetry is the final registry snapshot of an instrumented run
+	// (nil when the run had no registry) — the experiments harness
+	// aggregates these into its reports.
+	Telemetry telemetry.Snapshot
 }
 
 // JobResult summarizes one batch job's outcome.
@@ -246,8 +261,84 @@ func (r *Result) NormalizedTimeUse() float64 {
 	return r.MaxCompletionTimeS / r.Scenario.BatchDeadlineS
 }
 
-// Run simulates the scenario under the policy.
+// RunOptions attaches observability to a run. The zero value disables all
+// telemetry, which keeps the tick loop on the exact legacy hot path (one
+// nil check per tick).
+type RunOptions struct {
+	// Metrics, when non-nil, is installed as Env.Metrics: the engine and
+	// the policy register and update instruments there, and the final
+	// snapshot lands in Result.Telemetry. Use one registry per run
+	// (RunMany jobs run concurrently and would interleave samples).
+	Metrics *telemetry.Registry
+	// Decisions, when non-nil, is installed as Env.Decisions and receives
+	// one structured JSONL record per policy control period.
+	Decisions *telemetry.DecisionSink
+	// Status, when non-nil, is refreshed every tick with the live run
+	// state, for the /status endpoint of a metrics server.
+	Status *telemetry.RunStatus
+}
+
+// Run simulates the scenario under the policy with telemetry disabled.
 func Run(scn Scenario, p Policy) (*Result, error) {
+	return RunWith(scn, p, RunOptions{})
+}
+
+// engineMetrics holds the engine's own instruments, resolved once before
+// the tick loop so the hot path performs no registry lookups. The zero
+// value (all nil instruments) is the disabled state.
+type engineMetrics struct {
+	enabled     bool
+	ticks       *telemetry.Counter
+	trips       *telemetry.Counter
+	outageS     *telemetry.Counter
+	totalW      *telemetry.Gauge
+	cbW         *telemetry.Gauge
+	upsW        *telemetry.Gauge
+	soc         *telemetry.Gauge
+	thermMargin *telemetry.Gauge
+	demand      *telemetry.Gauge
+	nowS        *telemetry.Gauge
+	tickSeconds *telemetry.Histogram
+}
+
+func newEngineMetrics(r *telemetry.Registry) engineMetrics {
+	if r == nil {
+		return engineMetrics{}
+	}
+	return engineMetrics{
+		enabled: true,
+		ticks:   r.Counter("sim_ticks_total", "simulation ticks executed"),
+		trips:   r.Counter("cb_trips_total", "circuit breaker trips"),
+		outageS: r.Counter("outage_seconds_total", "simulated seconds with the rack dark"),
+		totalW:  r.Gauge("rack_power_w", "true rack power this tick"),
+		cbW:     r.Gauge("cb_power_w", "breaker-conducted power this tick"),
+		upsW:    r.Gauge("ups_power_w", "battery-delivered power this tick"),
+		soc:     r.Gauge("ups_soc", "UPS state of charge"),
+		thermMargin: r.Gauge("cb_thermal_margin",
+			"remaining fraction of the breaker trip budget (1 − thermal fraction)"),
+		demand: r.Gauge("interactive_demand_frac", "interactive demand fraction offered by the trace"),
+		nowS:   r.Gauge("sim_now_seconds", "current simulation time"),
+		tickSeconds: r.Histogram("engine_tick_seconds",
+			"wall-clock time per engine tick (excluded from golden comparisons)",
+			telemetry.DefTimeBuckets()),
+	}
+}
+
+// observeTick records one tick's plant state (no-op when disabled).
+func (em *engineMetrics) observeTick(now, pTotal, cbW, upsW float64, env *Env) {
+	em.ticks.Inc()
+	em.nowS.Set(now)
+	em.totalW.Set(pTotal)
+	em.cbW.Set(cbW)
+	em.upsW.Set(upsW)
+	em.soc.Set(env.UPS.SoC())
+	em.thermMargin.Set(1 - env.Breaker.ThermalFraction())
+	em.demand.Set(env.Trace.At(now))
+}
+
+// RunWith simulates the scenario under the policy with the given
+// observability options.
+func RunWith(scn Scenario, p Policy, opts RunOptions) (*Result, error) {
 	if err := scn.Validate(); err != nil {
 		return nil, err
 	}
@@ -255,6 +346,8 @@ func Run(scn Scenario, p Policy) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	env.Metrics = opts.Metrics
+	env.Decisions = opts.Decisions
 	if err := p.Start(env, scn); err != nil {
 		return nil, fmt.Errorf("sim: policy %s start: %w", p.Name(), err)
 	}
@@ -264,6 +357,29 @@ func Run(scn Scenario, p Policy) (*Result, error) {
 	res.Series.DtS = scn.DtS
 
 	reporter, _ := p.(TargetReporter)
+
+	// Engine telemetry: instruments resolve to nil-safe no-ops when
+	// opts.Metrics is nil, and the wall clock is only read when enabled.
+	em := newEngineMetrics(opts.Metrics)
+	status := func(now float64, pTotal, cbW, upsW float64, done bool) {
+		if opts.Status == nil {
+			return
+		}
+		opts.Status.Set(telemetry.StatusSnapshot{
+			Policy:    p.Name(),
+			NowS:      now,
+			DurationS: scn.DurationS,
+			Progress:  math.Min(1, now/scn.DurationS),
+			Ticks:     int64(len(res.Series.Time)),
+			TotalW:    pTotal,
+			CBW:       cbW,
+			UPSW:      upsW,
+			SoC:       env.UPS.SoC(),
+			CBTrips:   res.CBTrips,
+			OutageS:   res.OutageS,
+			Done:      done,
+		})
+	}
 
 	// Fault injection: nil when the plan is empty, so fault-free runs
 	// follow the exact legacy code path (bit-identical results).
@@ -292,6 +408,10 @@ func Run(scn Scenario, p Policy) (*Result, error) {
 
 	for step := 0; step < steps; step++ {
 		now := float64(step) * dt
+		var tickStart time.Time
+		if em.enabled {
+			tickStart = time.Now()
+		}
 		env.Events.SetNow(now)
 		env.Rack.SetAmbient(scn.AmbientBaseC + scn.AmbientSwingC*math.Sin(2*math.Pi*now/1800))
 
@@ -331,6 +451,12 @@ func Run(scn Scenario, p Policy) (*Result, error) {
 			if inj != nil {
 				snap.UPSSoC, snap.UPSDepleted = inj.FilterSoC(snap.UPSSoC, snap.UPSDepleted)
 			}
+			if em.enabled {
+				em.outageS.Add(dt)
+				em.observeTick(now, 0, 0, 0, env)
+				em.tickSeconds.Observe(time.Since(tickStart).Seconds())
+			}
+			status(now, 0, 0, 0, false)
 			continue
 		}
 
@@ -357,6 +483,7 @@ func Run(scn Scenario, p Policy) (*Result, error) {
 			cbW = env.Breaker.Step(pTotal-upsW, dt)
 			if env.Breaker.Tripped() {
 				res.CBTrips++
+				em.trips.Inc()
 				env.Events.Logf("cb-trip", "breaker tripped at %.0f W conducted", cbW)
 			}
 		} else {
@@ -379,9 +506,15 @@ func Run(scn Scenario, p Policy) (*Result, error) {
 			env.Rack.AdvanceBatch(dt, now)
 		} else {
 			res.OutageS += dt
+			em.outageS.Add(dt)
 		}
 
 		recordTick(res, reporter, now, pTotal, cbW, upsW, env, outage)
+		if em.enabled {
+			em.observeTick(now, pTotal, cbW, upsW, env)
+			em.tickSeconds.Observe(time.Since(tickStart).Seconds())
+		}
+		status(now, pTotal, cbW, upsW, false)
 
 		// CB budget tracking quality.
 		if reporter != nil {
@@ -402,6 +535,8 @@ func Run(scn Scenario, p Policy) (*Result, error) {
 	}
 
 	finalize(res, env, controlledTicks, overTicks, trackErrSum)
+	status(scn.DurationS, snap.MeasuredTotalW, snap.CBPowerW, snap.UPSPowerW, true)
+	res.Telemetry = opts.Metrics.Snapshot()
 	return res, nil
 }
 

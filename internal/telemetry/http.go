@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the observability endpoint mux:
+//
+//	/metrics        — Prometheus text exposition of the registry
+//	/status         — live run-status JSON (StatusSnapshot)
+//	/debug/pprof/…  — the standard Go profiling endpoints
+//
+// reg and status may be nil; the endpoints then serve empty documents.
+func Handler(reg *Registry, status *RunStatus) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(status.Get())
+	})
+	// The pprof handlers are wired explicitly: importing net/http/pprof
+	// only registers them on http.DefaultServeMux, which this mux
+	// deliberately is not (a simulation should not inherit whatever else
+	// the process registered globally).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr (e.g. ":9090"; ":0" picks a free port) and serves h in
+// a background goroutine. It returns the bound address and a stop function
+// that closes the listener and waits briefly for in-flight requests.
+func Serve(addr string, h http.Handler) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	stop := func() error {
+		err := srv.Close()
+		select {
+		case <-done:
+		case <-time.After(time.Second):
+		}
+		return err
+	}
+	return ln.Addr().String(), stop, nil
+}

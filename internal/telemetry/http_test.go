@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerMetricsAndStatus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("cb_trips_total", "trips").Add(1)
+	reg.Gauge("ups_soc", "soc").Set(0.42)
+	status := NewRunStatus()
+	status.Set(StatusSnapshot{Policy: "SprintCon", NowS: 450, DurationS: 900, Progress: 0.5, TotalW: 3700})
+
+	srv := httptest.NewServer(Handler(reg, status))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	if !strings.Contains(string(body), "cb_trips_total 1") || !strings.Contains(string(body), "ups_soc 0.42") {
+		t.Fatalf("/metrics body missing samples:\n%s", body)
+	}
+
+	resp, err = http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got StatusSnapshot
+	err = json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Policy != "SprintCon" || got.Progress != 0.5 || got.TotalW != 3700 {
+		t.Fatalf("/status = %+v", got)
+	}
+
+	// pprof index must respond (the profiling endpoints are part of the
+	// observability contract).
+	resp, err = http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+}
+
+func TestServeAndStop(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("n", "").Inc()
+	addr, stop, err := Serve("127.0.0.1:0", Handler(reg, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "n 1") {
+		t.Fatalf("metrics over live server missing sample:\n%s", body)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("server still reachable after stop")
+	}
+}

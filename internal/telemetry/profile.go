@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins a CPU profile into the file at path and returns a
+// stop function that ends profiling and closes the file. It backs the
+// -cpuprofile flags of cmd/sprintsim and cmd/experiments.
+func StartCPUProfile(path string) (func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("telemetry: cpu profile close: %w", err)
+		}
+		return nil
+	}, nil
+}
+
+// WriteHeapProfile garbage-collects (so the profile reflects live objects,
+// not garbage awaiting collection) and writes a heap profile to path. It
+// backs the -memprofile flags of cmd/sprintsim and cmd/experiments.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: heap profile: %w", err)
+	}
+	runtime.GC()
+	werr := pprof.WriteHeapProfile(f)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("telemetry: heap profile: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("telemetry: heap profile close: %w", cerr)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package telemetry
+
+import "sync"
+
+// StatusSnapshot is the live run-status document served at /status: where
+// the simulation is, what the plant looks like right now, and the headline
+// counters so far. The engine refreshes it every tick.
+type StatusSnapshot struct {
+	Policy    string  `json:"policy"`
+	NowS      float64 `json:"now_s"`
+	DurationS float64 `json:"duration_s"`
+	Progress  float64 `json:"progress"` // NowS/DurationS in [0, 1]
+	Ticks     int64   `json:"ticks"`
+	TotalW    float64 `json:"total_w"`
+	CBW       float64 `json:"cb_w"`
+	UPSW      float64 `json:"ups_w"`
+	SoC       float64 `json:"ups_soc"`
+	CBTrips   int     `json:"cb_trips"`
+	OutageS   float64 `json:"outage_s"`
+	Done      bool    `json:"done"`
+}
+
+// RunStatus is a concurrency-safe holder for the latest StatusSnapshot.
+// All methods are safe on a nil receiver (the engine updates it
+// unconditionally).
+type RunStatus struct {
+	mu sync.RWMutex
+	s  StatusSnapshot
+}
+
+// NewRunStatus returns an empty status holder.
+func NewRunStatus() *RunStatus { return &RunStatus{} }
+
+// Set replaces the snapshot (no-op on nil).
+func (r *RunStatus) Set(s StatusSnapshot) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.s = s
+	r.mu.Unlock()
+}
+
+// Get returns the latest snapshot (zero value on nil).
+func (r *RunStatus) Get() StatusSnapshot {
+	if r == nil {
+		return StatusSnapshot{}
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.s
+}

@@ -40,6 +40,7 @@ import (
 	"sprintcon/internal/faults"
 	"sprintcon/internal/qos"
 	"sprintcon/internal/sim"
+	"sprintcon/internal/telemetry"
 	"sprintcon/internal/workload"
 )
 
@@ -81,6 +82,18 @@ type (
 	Fault = faults.Fault
 	// FaultKind names an injectable fault type.
 	FaultKind = faults.Kind
+	// RunOptions attaches opt-in observability (metrics registry, decision
+	// trace, live status) to a run via RunWith.
+	RunOptions = sim.RunOptions
+	// MetricsRegistry collects counters, gauges and histograms from every
+	// layer of a run; render it with WritePrometheus or Snapshot.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry (Result.Telemetry).
+	MetricsSnapshot = telemetry.Snapshot
+	// DecisionSink streams one structured JSON record per control period.
+	DecisionSink = telemetry.DecisionSink
+	// Decision is one decision-trace record.
+	Decision = telemetry.Decision
 )
 
 // DefaultScenario returns the paper's evaluation setup: 16 servers with
@@ -114,6 +127,20 @@ func NewBaseline(name string) (Policy, error) {
 
 // Run simulates the scenario under the policy.
 func Run(scn Scenario, p Policy) (*Result, error) { return sim.Run(scn, p) }
+
+// RunWith simulates the scenario with observability attached: a metrics
+// registry every control layer reports into, an optional JSONL decision
+// trace, and an optional live status holder for HTTP serving. Zero options
+// behave exactly like Run.
+func RunWith(scn Scenario, p Policy, opts RunOptions) (*Result, error) {
+	return sim.RunWith(scn, p, opts)
+}
+
+// NewMetricsRegistry returns an empty metrics registry for RunOptions.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// NewDecisionSink returns a decision-trace sink writing JSONL to w.
+func NewDecisionSink(w io.Writer) *DecisionSink { return telemetry.NewDecisionSink(w) }
 
 // Experiments regenerates every table and figure of the paper's evaluation
 // (see DESIGN.md for the index).
