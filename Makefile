@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos bench report experiments clean
+.PHONY: all build vet test race chaos bench bench-check gobench report experiments clean
 
 all: build vet test
 
@@ -22,7 +22,19 @@ race:
 chaos:
 	$(GO) test -run TestChaos -v ./internal/core/
 
+# Full pinned-scenario benchmark: writes BENCH_<date>.json and compares
+# against the committed baseline (skipped when the baseline's -quick flag
+# differs from the run's).
 bench:
+	$(GO) run ./cmd/bench -o BENCH_$$(date +%F).json
+
+# CI regression gate: quick scenarios vs the committed quick-mode baseline;
+# fails on >20% regression (see cmd/bench for the per-metric rules).
+bench-check:
+	$(GO) run ./cmd/bench -quick -o bench_check.json
+
+# Raw go-test micro-benchmarks (per-function, -benchmem).
+gobench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 report:
@@ -32,5 +44,5 @@ experiments:
 	$(GO) run ./cmd/experiments -exp all
 
 clean:
-	rm -f REPORT.md bench_output.txt test_output.txt
+	rm -f REPORT.md bench_output.txt bench_check.json test_output.txt
 	rm -rf figs

@@ -1,0 +1,410 @@
+// Command bench runs SprintCon's pinned performance scenarios and writes a
+// BENCH_<date>.json data point, so the repository's performance trajectory
+// is measured, not asserted. It optionally compares the run against a
+// committed baseline and exits non-zero on regression (the CI bench-check
+// job).
+//
+// Scenarios:
+//
+//	qp_warm_vs_cold — MPC-shaped box QP, cold solve vs warm re-solve of a
+//	                  perturbed problem (sweeps are deterministic)
+//	tick_loop       — steady-state SprintCon tick: allocations per tick
+//	                  (must be 0 with telemetry off) and ns/tick
+//	mpc_sweeps      — mean QP sweeps per MPC solve over the default
+//	                  closed-loop run, warm vs the pre-optimization
+//	                  legacy path
+//	cluster_sweep   — 4-rack cluster run: wall time of the current
+//	                  parallel path vs the current serial path vs the
+//	                  legacy (cold-QP serial) path, plus a bit-identical
+//	                  check between parallel and serial results
+//
+// Metric comparison rules against the baseline: deterministic metrics
+// (allocs_per_tick, bit_identical, *_sweeps*) are held to tight bounds;
+// in-process speedup ratios (speedup_*) may not drop more than 20%;
+// wall-clock metrics (*_ns) are informational unless -wall is given, since
+// absolute times are machine-dependent.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"sprintcon/internal/cluster"
+	"sprintcon/internal/core"
+	"sprintcon/internal/mathx"
+	"sprintcon/internal/qp"
+	"sprintcon/internal/sim"
+	"sprintcon/internal/telemetry"
+)
+
+const schemaVersion = "sprintcon-bench/v1"
+
+// Scenario is one benchmark's result: a flat name → value metric map.
+type Scenario struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the BENCH_<date>.json document.
+type Report struct {
+	Schema     string     `json:"schema"`
+	Date       string     `json:"date"`
+	Go         string     `json:"go"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Quick      bool       `json:"quick"`
+	Scenarios  []Scenario `json:"scenarios"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "shorter scenarios for CI (compare only against a -quick baseline)")
+	baselinePath := flag.String("baseline", "bench/baseline.json", "baseline JSON to compare against (empty to skip)")
+	out := flag.String("o", "", "output path (default BENCH_<date>.json)")
+	wall := flag.Bool("wall", false, "also enforce wall-clock (_ns) comparisons against the baseline")
+	flag.Parse()
+
+	rep := Report{
+		Schema:     schemaVersion,
+		Date:       time.Now().Format("2006-01-02"),
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+	}
+
+	fmt.Println("bench: qp_warm_vs_cold")
+	rep.Scenarios = append(rep.Scenarios, qpWarmVsCold())
+	fmt.Println("bench: tick_loop")
+	rep.Scenarios = append(rep.Scenarios, tickLoop(*quick))
+	fmt.Println("bench: mpc_sweeps")
+	rep.Scenarios = append(rep.Scenarios, mpcSweeps(*quick))
+	fmt.Println("bench: cluster_sweep")
+	rep.Scenarios = append(rep.Scenarios, clusterSweep(*quick))
+
+	for _, s := range rep.Scenarios {
+		fmt.Printf("%s:\n", s.Name)
+		for _, k := range sortedKeys(s.Metrics) {
+			fmt.Printf("  %-28s %v\n", k, s.Metrics[k])
+		}
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + rep.Date + ".json"
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("bench: wrote %s\n", path)
+
+	if *baselinePath != "" {
+		if code := compare(rep, *baselinePath, *wall); code != 0 {
+			os.Exit(code)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(2)
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := range keys {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	return keys
+}
+
+// qpWarmVsCold re-solves a perturbed MPC-shaped QP warm vs cold. Sweep
+// counts are fully deterministic.
+func qpWarmVsCold() Scenario {
+	const n = 64
+	h := mathx.NewMatrix(n, n)
+	k := mathx.NewVector(n)
+	for i := range k {
+		k[i] = 9 + 0.1*float64(i%7)
+	}
+	h.OuterAdd(30, k, k)
+	g := mathx.NewVector(n)
+	lo := mathx.NewVector(n)
+	hi := mathx.NewVector(n)
+	for i := 0; i < n; i++ {
+		h.Inc(i, i, 400)
+		g[i] = -(4000 + 2500*float64(i%5)) * k[i]
+		lo[i] = -1.6
+		hi[i] = 0.4
+	}
+	p := qp.Problem{H: h, G: g, Lo: lo, Hi: hi}
+
+	base, err := qp.Solve(p, qp.Options{MaxSweeps: 10000})
+	if err != nil {
+		fatal(err)
+	}
+	pert := p
+	pert.G = g.Clone()
+	for i := range pert.G {
+		pert.G[i] *= 1.01
+	}
+	t0 := time.Now()
+	cold, err := qp.Solve(pert, qp.Options{MaxSweeps: 10000})
+	coldNs := time.Since(t0)
+	if err != nil {
+		fatal(err)
+	}
+	ws := qp.NewWorkspace(n)
+	t0 = time.Now()
+	warm, err := qp.Solve(pert, qp.Options{MaxSweeps: 10000, Warm: base.X, Ws: ws})
+	warmNs := time.Since(t0)
+	if err != nil {
+		fatal(err)
+	}
+	return Scenario{Name: "qp_warm_vs_cold", Metrics: map[string]float64{
+		"cold_sweeps":     float64(cold.Sweeps),
+		"warm_sweeps":     float64(warm.Sweeps),
+		"sweep_reduction": float64(cold.Sweeps) / math.Max(1, float64(warm.Sweeps)),
+		"cold_ns":         float64(coldNs.Nanoseconds()),
+		"warm_ns":         float64(warmNs.Nanoseconds()),
+	}}
+}
+
+// tickLoop measures the steady-state SprintCon tick with telemetry off:
+// allocations per tick (the zero-alloc contract) and wall time per tick.
+func tickLoop(quick bool) Scenario {
+	scn := sim.DefaultScenario()
+	env, err := sim.BuildEnv(scn)
+	if err != nil {
+		fatal(err)
+	}
+	s := core.New(core.DefaultConfig())
+	if err := s.Start(env, scn); err != nil {
+		fatal(err)
+	}
+	snap := sim.Snapshot{Dt: scn.DtS, UPSSoC: env.UPS.SoC()}
+	now := 0.0
+	tick := func() {
+		snap.Now = now
+		snap.MeasuredTotalW = env.Rack.MeasuredPower()
+		snap.CBPowerW = env.Rack.TruePower()
+		s.Tick(env, snap)
+		env.Rack.AdvanceBatch(scn.DtS, now)
+		now += scn.DtS
+	}
+	for i := 0; i < 120; i++ {
+		tick() // steady state: caches warm, buffers at capacity
+	}
+	n := 600
+	if quick {
+		n = 200
+	}
+	allocs := testing.AllocsPerRun(n, tick)
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		tick()
+	}
+	wall := time.Since(t0)
+	return Scenario{Name: "tick_loop", Metrics: map[string]float64{
+		"allocs_per_tick": allocs,
+		"ns_per_tick":     float64(wall.Nanoseconds()) / float64(n),
+	}}
+}
+
+// mpcSweeps runs the default closed-loop scenario instrumented and reports
+// the mean QP sweeps per MPC solve, warm vs the pre-optimization legacy
+// path. Both are deterministic.
+func mpcSweeps(quick bool) Scenario {
+	scn := sim.DefaultScenario()
+	if quick {
+		scn.DurationS = 300
+	}
+	run := func(legacy bool) (mean float64, unconverged float64) {
+		cfg := core.DefaultConfig()
+		cfg.LegacyQP = legacy
+		reg := telemetry.NewRegistry()
+		res, err := sim.RunWith(scn, core.New(cfg), sim.RunOptions{Metrics: reg})
+		if err != nil {
+			fatal(err)
+		}
+		p, ok := res.Telemetry.Get("qp_iterations")
+		if !ok || p.Count == 0 {
+			fatal(fmt.Errorf("qp_iterations missing from telemetry"))
+		}
+		u, _ := res.Telemetry.Value("qp_unconverged_total")
+		return p.Value / float64(p.Count), u
+	}
+	warmMean, warmUnconv := run(false)
+	legacyMean, legacyUnconv := run(true)
+	return Scenario{Name: "mpc_sweeps", Metrics: map[string]float64{
+		"mean_sweeps_warm":   warmMean,
+		"mean_sweeps_legacy": legacyMean,
+		"sweep_reduction":    legacyMean / math.Max(1e-9, warmMean),
+		"unconverged_warm":   warmUnconv,
+		"unconverged_legacy": legacyUnconv,
+	}}
+}
+
+// clusterSweep is the pinned multi-rack scenario: wall time of the current
+// parallel path vs the current serial path vs the legacy cold-QP serial
+// path (the pre-optimization behavior), plus two bit-identical checks —
+// parallel vs serial on the current solver, and parallel vs serial on the
+// legacy solver (proving the fan-out machinery reproduces the pre-PR
+// serial results exactly; the warm solver itself agrees within KKT
+// tolerance, not bit for bit — see DESIGN.md §10).
+func clusterSweep(quick bool) Scenario {
+	cfg := cluster.DefaultConfig()
+	if quick {
+		cfg.Scenario.DurationS = 300
+		cfg.NumRacks = 2
+	}
+
+	timeRun := func(c cluster.Config) (*cluster.Result, float64) {
+		t0 := time.Now()
+		res, err := cluster.Run(c)
+		if err != nil {
+			fatal(err)
+		}
+		return res, float64(time.Since(t0).Nanoseconds())
+	}
+
+	legacyCfg := cfg
+	legacyCfg.Serial = true
+	legacyCfg.SprintCon.LegacyQP = true
+	legacySerialRes, legacyNs := timeRun(legacyCfg)
+
+	legacyParCfg := legacyCfg
+	legacyParCfg.Serial = false
+	legacyParRes, _ := timeRun(legacyParCfg)
+
+	serialCfg := cfg
+	serialCfg.Serial = true
+	serialRes, serialNs := timeRun(serialCfg)
+
+	parRes, parNs := timeRun(cfg)
+
+	return Scenario{Name: "cluster_sweep", Metrics: map[string]float64{
+		"legacy_serial_ns":     legacyNs,
+		"serial_ns":            serialNs,
+		"parallel_ns":          parNs,
+		"speedup_vs_legacy":    legacyNs / math.Max(1, parNs),
+		"speedup_warm":         legacyNs / math.Max(1, serialNs),
+		"parallel_speedup":     serialNs / math.Max(1, parNs),
+		"bit_identical":        racksEqual(parRes, serialRes),
+		"bit_identical_legacy": racksEqual(legacyParRes, legacySerialRes),
+	}}
+}
+
+// racksEqual returns 1 when every per-rack, per-tick series of the two
+// cluster results is bit-for-bit equal, else 0.
+func racksEqual(p, q *cluster.Result) float64 {
+	if len(p.Racks) != len(q.Racks) {
+		return 0
+	}
+	for i := range p.Racks {
+		a, b := p.Racks[i].Series, q.Racks[i].Series
+		if len(a.TotalW) != len(b.TotalW) {
+			return 0
+		}
+		for t := range a.TotalW {
+			if a.TotalW[t] != b.TotalW[t] || a.CBW[t] != b.CBW[t] || a.SoC[t] != b.SoC[t] ||
+				a.FreqBatch[t] != b.FreqBatch[t] || a.FreqInter[t] != b.FreqInter[t] {
+				return 0
+			}
+		}
+	}
+	return 1
+}
+
+// compare checks the report against the baseline and returns 1 on
+// regression. Rules by metric name:
+//
+//	allocs_per_tick       — may not exceed baseline + 0.01
+//	bit_identical*        — may not drop below baseline
+//	*sweeps*, *unconverged* (lower better) — may not exceed baseline × 1.2
+//	speedup_*, sweep_reduction (higher better) — may not drop below × 0.8
+//	*_ns (wall clock)     — only with -wall: may not exceed × 1.2
+func compare(rep Report, path string, wall bool) int {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: no baseline at %s (%v); skipping comparison\n", path, err)
+		return 0
+	}
+	var base Report
+	if err := json.Unmarshal(blob, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: unreadable baseline %s: %v\n", path, err)
+		return 1
+	}
+	if base.Quick != rep.Quick {
+		fmt.Fprintf(os.Stderr, "bench: baseline quick=%v but run quick=%v; skipping comparison (sweep counts are duration-dependent)\n", base.Quick, rep.Quick)
+		return 0
+	}
+
+	baseMetrics := map[string]map[string]float64{}
+	for _, s := range base.Scenarios {
+		baseMetrics[s.Name] = s.Metrics
+	}
+	regressions := 0
+	for _, s := range rep.Scenarios {
+		bm := baseMetrics[s.Name]
+		if bm == nil {
+			continue
+		}
+		for name, cur := range s.Metrics {
+			ref, ok := bm[name]
+			if !ok {
+				continue
+			}
+			bad := false
+			var rule string
+			switch {
+			case name == "allocs_per_tick":
+				bad = cur > ref+0.01
+				rule = "must not exceed baseline"
+			case strings.HasPrefix(name, "bit_identical"):
+				bad = cur < ref
+				rule = "must not drop"
+			case strings.HasSuffix(name, "_ns"):
+				if !wall {
+					continue
+				}
+				bad = cur > ref*1.2
+				rule = "wall clock >20% slower"
+			case strings.Contains(name, "sweeps") || strings.Contains(name, "unconverged"):
+				bad = cur > ref*1.2+1e-9
+				rule = ">20% more solver work"
+			case strings.HasPrefix(name, "speedup") || name == "sweep_reduction" || name == "parallel_speedup":
+				bad = cur < ref*0.8
+				rule = ">20% speedup loss"
+			default:
+				continue
+			}
+			if bad {
+				fmt.Fprintf(os.Stderr, "bench: REGRESSION %s/%s: %.4g vs baseline %.4g (%s)\n",
+					s.Name, name, cur, ref, rule)
+				regressions++
+			}
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "bench: %d regression(s) against %s\n", regressions, path)
+		return 1
+	}
+	fmt.Printf("bench: no regressions against %s\n", path)
+	return 0
+}

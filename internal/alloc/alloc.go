@@ -25,7 +25,7 @@ package alloc
 import (
 	"errors"
 	"math"
-	"sort"
+	"slices"
 )
 
 // AdaptMode selects how the interactive reserve is adapted.
@@ -154,6 +154,7 @@ type Allocator struct {
 	lastUpdate  float64
 	samples     []float64 // interactive power observations this window
 	samplesHigh int       // threshold mode: saturated samples
+	qScratch    []float64 // reused sort buffer for the reserve quantile
 
 	// conf derates the overload bonus: with measurement confidence c the
 	// scheduled budget becomes rated + c·(P_cb − rated). Sprinting past
@@ -378,7 +379,8 @@ func (a *Allocator) MaybeUpdatePBatch(now, pDeadlineW, pBatchMinW, pBatchMaxW fl
 				a.reserveW = math.Max(0, a.reserveW-a.cfg.PBatchStepW)
 			}
 		default:
-			a.reserveW = quantile(a.samples, a.cfg.ReserveQuantile)
+			a.qScratch = append(a.qScratch[:0], a.samples...)
+			a.reserveW = quantile(a.qScratch, a.cfg.ReserveQuantile)
 		}
 	}
 	a.samples = a.samples[:0]
@@ -436,19 +438,19 @@ func clampF(v, lo, hi float64) float64 {
 func (a *Allocator) SetReserve(w float64) { a.reserveW = math.Max(0, w) }
 
 // quantile returns the q-quantile of xs (xs is not modified).
+// quantile returns the q-quantile of xs, sorting xs in place (callers pass
+// a scratch copy so the observation window keeps its arrival order).
 func quantile(xs []float64, q float64) float64 {
-	tmp := make([]float64, len(xs))
-	copy(tmp, xs)
-	sort.Float64s(tmp)
-	if len(tmp) == 0 {
+	slices.Sort(xs)
+	if len(xs) == 0 {
 		return 0
 	}
-	idx := int(q*float64(len(tmp))) - 1
+	idx := int(q*float64(len(xs))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(tmp) {
-		idx = len(tmp) - 1
+	if idx >= len(xs) {
+		idx = len(xs) - 1
 	}
-	return tmp[idx]
+	return xs[idx]
 }

@@ -2,6 +2,7 @@ package alloc
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -359,8 +360,10 @@ func TestQuantileHelper(t *testing.T) {
 	if got := quantile(nil, 0.5); got != 0 {
 		t.Fatalf("quantile(nil) = %v, want 0", got)
 	}
-	// Input must not be reordered.
-	if xs[0] != 5 || xs[4] != 4 {
-		t.Fatal("quantile must not mutate its input")
+	// quantile sorts in place (callers pass a reused scratch copy so the
+	// observation window keeps arrival order and the update allocates
+	// nothing in steady state).
+	if !sort.Float64sAreSorted(xs) {
+		t.Fatal("quantile must sort its scratch input in place")
 	}
 }

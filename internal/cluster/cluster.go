@@ -9,6 +9,13 @@
 // and the feeder sees the full 1.25× aggregate peak. Staggering the
 // offsets by cycle/N keeps at most ⌈N·150/450⌉ racks in an overload phase
 // at once, flattening the aggregate draw.
+//
+// Racks are independent seeded simulations, so Run executes them on the
+// sim worker pool (bounded by GOMAXPROCS) and assembles results in rack
+// order — output is bit-identical to a serial run (Config.Serial forces
+// one for benchmark comparisons). Each rack's interactive-trace, rack and
+// fault-plan seeds are offset by the rack index so the racks experience
+// independent traffic, noise and fault timings.
 package cluster
 
 import (
@@ -23,20 +30,30 @@ import (
 
 // Config describes the rack group.
 type Config struct {
-	// NumRacks is the group size.
+	// NumRacks is the group size, in [1, MaxRacks].
 	NumRacks int
 	// Scenario is the per-rack scenario; rack i runs it with the
-	// interactive seed offset by i so the racks see distinct traffic.
+	// interactive, rack and fault-plan seeds offset by i so the racks
+	// see distinct traffic, measurement noise and fault timings.
 	Scenario sim.Scenario
 	// Stagger spreads the racks' overload phases across the cycle.
 	Stagger bool
-	// FeederBudgetW is the shared feeder capacity for the group; the
+	// FeederBudgetW is the shared feeder capacity (W) for the group; the
 	// result reports how often the aggregate exceeds it. Zero disables
 	// the check.
 	FeederBudgetW float64
 	// SprintCon tunes the per-rack policy.
 	SprintCon core.Config
+	// Serial runs the racks one at a time instead of on the worker pool.
+	// Results are bit-identical either way; the knob exists so the
+	// benchmark harness can measure the parallel speedup.
+	Serial bool
 }
+
+// MaxRacks bounds NumRacks: each rack is a full seeded simulation holding
+// its series in memory, and a group beyond this size indicates a
+// misconfigured sweep rather than a plausible feeder group.
+const MaxRacks = 1024
 
 // DefaultConfig returns four paper racks behind a feeder provisioned at
 // the sum of the breaker ratings plus one rack's overload bonus — enough
@@ -57,6 +74,9 @@ func (c Config) Validate() error {
 	if c.NumRacks <= 0 {
 		return errors.New("cluster: NumRacks must be positive")
 	}
+	if c.NumRacks > MaxRacks {
+		return fmt.Errorf("cluster: NumRacks %d exceeds MaxRacks %d", c.NumRacks, MaxRacks)
+	}
 	if c.FeederBudgetW < 0 {
 		return errors.New("cluster: FeederBudgetW must be non-negative")
 	}
@@ -75,40 +95,69 @@ type Result struct {
 	// OverBudgetFrac is the fraction of ticks above the feeder budget
 	// (0 when no budget is configured).
 	OverBudgetFrac float64
-	// Safety rollups across racks.
+	// Safety rollups summed across racks: breaker trips (count),
+	// interactive-service outage (s), and batch deadline misses (count).
 	CBTrips        int
 	OutageS        float64
 	DeadlineMisses int
 }
 
-// Run simulates every rack and aggregates the feeder draw.
+// rackJob builds rack i's scenario and policy: the per-rack seed offsets
+// and the staggered overload phase.
+func rackJob(cfg Config, i int) (sim.Scenario, sim.Policy) {
+	scn := cfg.Scenario
+	scn.Interactive.Seed += int64(i)
+	scn.Rack.Seed += int64(i)
+	// Fault-plan seed too: without this offset every rack replays the
+	// same jittered fault timings, a synchronized failure wave no real
+	// deployment exhibits.
+	scn.Faults.Seed += int64(i)
+
+	pcfg := cfg.SprintCon
+	acfg := alloc.DefaultConfig(scn.Breaker.RatedPower, scn.Breaker.TripBudget())
+	if pcfg.AllocOverride != nil {
+		acfg = *pcfg.AllocOverride
+	}
+	if cfg.Stagger {
+		cycle := acfg.OverloadS + acfg.RecoveryS
+		acfg.PhaseOffsetS = float64(i) * cycle / float64(cfg.NumRacks)
+	}
+	pcfg.AllocOverride = &acfg
+	return scn, core.New(pcfg)
+}
+
+// Run simulates every rack (concurrently unless Config.Serial) and
+// aggregates the feeder draw. Results are deterministic: rack i's result
+// depends only on the configuration and i, never on scheduling.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	cycle := 0.0
-	out := &Result{}
-	for i := 0; i < cfg.NumRacks; i++ {
-		scn := cfg.Scenario
-		scn.Interactive.Seed += int64(i)
-		scn.Rack.Seed += int64(i)
-
-		pcfg := cfg.SprintCon
-		acfg := alloc.DefaultConfig(scn.Breaker.RatedPower, scn.Breaker.TripBudget())
-		if pcfg.AllocOverride != nil {
-			acfg = *pcfg.AllocOverride
+	racks := make([]*sim.Result, cfg.NumRacks)
+	if cfg.Serial {
+		for i := 0; i < cfg.NumRacks; i++ {
+			scn, p := rackJob(cfg, i)
+			res, err := sim.Run(scn, p)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: rack %d: %w", i, err)
+			}
+			racks[i] = res
 		}
-		if cfg.Stagger {
-			cycle = acfg.OverloadS + acfg.RecoveryS
-			acfg.PhaseOffsetS = float64(i) * cycle / float64(cfg.NumRacks)
+	} else {
+		jobs := make([]sim.Job, cfg.NumRacks)
+		for i := range jobs {
+			scn, p := rackJob(cfg, i)
+			jobs[i] = sim.Job{Key: fmt.Sprintf("rack%d", i), Scenario: scn, Policy: p}
 		}
-		pcfg.AllocOverride = &acfg
-
-		res, err := sim.Run(scn, core.New(pcfg))
+		var err error
+		racks, err = sim.RunManyOrdered(jobs)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: rack %d: %w", i, err)
+			return nil, fmt.Errorf("cluster: %w", err)
 		}
-		out.Racks = append(out.Racks, res)
+	}
+
+	out := &Result{Racks: racks}
+	for i, res := range racks {
 		out.CBTrips += res.CBTrips
 		out.OutageS += res.OutageS
 		out.DeadlineMisses += res.DeadlineMisses

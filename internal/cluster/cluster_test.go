@@ -85,3 +85,60 @@ func TestClusterSafetyRollups(t *testing.T) {
 		t.Fatal("racks should not share an identical trace")
 	}
 }
+
+func TestNumRacksBounds(t *testing.T) {
+	bad := DefaultConfig()
+	bad.NumRacks = MaxRacks + 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("NumRacks above MaxRacks should error")
+	}
+	ok := DefaultConfig()
+	ok.NumRacks = MaxRacks
+	ok.Scenario.DurationS = 0 // invalid scenario, but NumRacks itself passes
+	if err := ok.Validate(); err == nil || err.Error() == "cluster: NumRacks 1024 exceeds MaxRacks 1024" {
+		t.Fatalf("NumRacks = MaxRacks must pass the bounds check, got %v", err)
+	}
+}
+
+// Parallel and serial cluster runs must produce bit-identical results: every
+// rack is an independent seeded simulation, so scheduling cannot leak into
+// the output.
+func TestParallelMatchesSerial(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumRacks = 3
+	cfg.Scenario.DurationS = 300
+
+	par, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Serial = true
+	ser, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(par.Racks) != len(ser.Racks) {
+		t.Fatalf("rack counts differ: %d vs %d", len(par.Racks), len(ser.Racks))
+	}
+	for i := range par.Racks {
+		p, s := par.Racks[i], ser.Racks[i]
+		if len(p.Series.TotalW) != len(s.Series.TotalW) {
+			t.Fatalf("rack %d series lengths differ", i)
+		}
+		for tk := range p.Series.TotalW {
+			if p.Series.TotalW[tk] != s.Series.TotalW[tk] || p.Series.CBW[tk] != s.Series.CBW[tk] ||
+				p.Series.SoC[tk] != s.Series.SoC[tk] || p.Series.FreqBatch[tk] != s.Series.FreqBatch[tk] {
+				t.Fatalf("rack %d diverges at tick %d", i, tk)
+			}
+		}
+		if p.CBTrips != s.CBTrips || p.OutageS != s.OutageS || p.DeadlineMisses != s.DeadlineMisses {
+			t.Fatalf("rack %d summary stats diverge", i)
+		}
+	}
+	for tk := range par.AggregateW {
+		if par.AggregateW[tk] != ser.AggregateW[tk] {
+			t.Fatalf("aggregate diverges at tick %d", tk)
+		}
+	}
+}

@@ -1,16 +1,21 @@
-// Package control implements SprintCon's two feedback controllers
-// (paper Sections IV-C and V) plus a classic PI controller used as an
-// ablation baseline:
+// Package control implements SprintCon's feedback controllers and their
+// defensive instrumentation (paper Sections IV-C and V, DESIGN.md §6 and §8):
 //
 //   - MPC: the model-predictive server power controller that tracks the
-//     batch power budget P_batch by manipulating per-core DVFS frequencies,
-//     minimizing the paper's Eq. (8) cost subject to the Eq. (9) frequency
-//     bounds.
+//     batch power budget P_batch (W) by manipulating per-core DVFS
+//     frequencies (GHz), minimizing the paper's Eq. (8) cost subject to the
+//     Eq. (9) frequency bounds each control period T (s).
 //   - UPSController: the UPS power controller that keeps the circuit
-//     breaker's delivered power at P_cb by setting the battery discharge to
-//     cover the excess (feedforward plus integral trim).
+//     breaker's delivered power at P_cb (W) by setting the battery discharge
+//     to cover the excess (feedforward plus integral trim).
 //   - PI: a single-loop proportional-integral power controller, retained to
 //     quantify what MPC buys (ablation A1 in DESIGN.md).
+//   - MeasurementGuard: the hardening layer's plausibility filter for the
+//     rack power monitor (DESIGN.md §8): dropout/freeze/spike detection with
+//     last-known-good and model-decay fallback, driving a confidence signal.
+//   - RLS: recursive-least-squares estimation of the power-model slope K
+//     (W/GHz) from observed (ΔF, Δp) pairs, for the online-estimation
+//     ablation (E13).
 package control
 
 import (
@@ -24,24 +29,27 @@ import (
 
 // MPCConfig parameterizes the server power controller.
 type MPCConfig struct {
-	// PredictionHorizon is L_p of Eq. (8); ControlHorizon is L_c.
+	// PredictionHorizon is L_p of Eq. (8); ControlHorizon is L_c. Both
+	// count control periods (dimensionless).
 	PredictionHorizon int
 	ControlHorizon    int
 	// PeriodS is the control period T in seconds.
 	PeriodS float64
-	// RefTimeConstS is τ_r of the Eq. (7) reference trajectory: larger
-	// values trade convergence speed for smaller overshoot (Section V-B).
+	// RefTimeConstS is τ_r of the Eq. (7) reference trajectory in seconds:
+	// larger values trade convergence speed for smaller overshoot
+	// (Section V-B).
 	RefTimeConstS float64
-	// QWeight is the tracking-error weight Q (uniform over the horizon).
+	// QWeight is the tracking-error weight Q (uniform over the horizon),
+	// in cost per W² of tracking error.
 	QWeight float64
 	// RScale converts the dimensionless per-core R weights into the cost
 	// function's units, balancing watts² of tracking error against GHz²
 	// of control penalty.
 	RScale float64
 	// KWPerGHz is the design-model slope per batch core (paper Eq. 1–4):
-	// the predicted change in batch power per GHz of that core.
+	// the predicted change in batch power per GHz of that core, in W/GHz.
 	KWPerGHz []float64
-	// FMinGHz and FMaxGHz bound every core's frequency (Eq. 9).
+	// FMinGHz and FMaxGHz bound every core's frequency in GHz (Eq. 9).
 	FMinGHz, FMaxGHz float64
 	// FullHorizon replaces the paper's prediction simplification
 	// ("the same operation will continue") with a true receding-horizon
@@ -50,13 +58,30 @@ type MPCConfig struct {
 	// Eq. (9) bounds stay simple boxes and the same QP solver applies;
 	// only the first move is actuated.
 	FullHorizon bool
+	// WarmStart seeds each period's QP with the previous period's solution
+	// (the receding-horizon problems differ only by the measured gap and
+	// the shifted bounds, so the previous minimizer is a few coordinate-
+	// descent sweeps from the new one). The controller invalidates the
+	// cached solution whenever the locked-core mask changes — a stuck
+	// actuator being excluded, a probe rejoining, a server crashing — and
+	// the cache dies with the controller, so a core-set change or a model
+	// rebuild (online estimation) always re-solves cold. The warm solve
+	// converges to the same minimizer within the QP's KKT tolerance; see
+	// the warm-vs-cold equivalence test in the qp package.
+	WarmStart bool
+	// LegacyQP forces the original cold QP path: no warm start, no
+	// workspace, allocation per solve. It exists so the benchmark harness
+	// can measure the warm-started solver against the pre-optimization
+	// behavior in the same binary; production configurations leave it
+	// false. LegacyQP overrides WarmStart.
+	LegacyQP bool
 }
 
 // DefaultMPCConfig returns the tuning used throughout the evaluation for a
-// rack with the given per-core model slopes. With the paper's constant-move
-// prediction simplification, the closed loop closes roughly
-// Σh·e_h/Σh² ≈ 40 % of the power gap per period, settling well within the
-// allocator's 30 s period at the 4 s control period.
+// rack with the given per-core model slopes (W/GHz), warm-starting enabled.
+// With the paper's constant-move prediction simplification, the closed loop
+// closes roughly Σh·e_h/Σh² ≈ 40 % of the power gap per period, settling
+// well within the allocator's 30 s period at the 4 s control period.
 func DefaultMPCConfig(kWPerGHz []float64) MPCConfig {
 	return MPCConfig{
 		PredictionHorizon: 4,
@@ -68,6 +93,7 @@ func DefaultMPCConfig(kWPerGHz []float64) MPCConfig {
 		KWPerGHz:          kWPerGHz,
 		FMinGHz:           0.4,
 		FMaxGHz:           2.0,
+		WarmStart:         true,
 	}
 }
 
@@ -102,12 +128,32 @@ func (c MPCConfig) Validate() error {
 // MPC is the model-predictive server power controller. Control-wise it is
 // stateless between periods: following the paper's formulation, each period
 // solves a fresh constrained optimization from the latest feedback
-// measurement (the receding-horizon principle). The only retained state is
-// the last solve's diagnostics (LastSolve), which never feeds back into
-// control decisions.
+// measurement (the receding-horizon principle). The retained state never
+// feeds back into control *decisions*: the last solve's diagnostics
+// (LastSolve) inform only telemetry, and the warm-start cache only chooses
+// where the QP's iteration starts, not where it converges.
+//
+// An MPC instance owns preallocated solve buffers; after the first Step a
+// steady-state solve performs no heap allocation. Instances are not safe
+// for concurrent use.
 type MPC struct {
 	cfg  MPCConfig
 	last SolveStats
+
+	// Preallocated per-solve state (the zero-alloc tick contract,
+	// DESIGN.md §10). Sized n for the constant-move formulation and
+	// n·ControlHorizon for FullHorizon.
+	h         *mathx.Matrix
+	g, lo, hi mathx.Vector
+	next      []float64
+	ws        *qp.Workspace
+
+	// Warm-start cache: the previous period's QP solution and the locked
+	// mask it was solved under. warmOK is false until the first solve and
+	// whenever the mask changes.
+	warmX    mathx.Vector
+	warmMask []bool
+	warmOK   bool
 }
 
 // SolveStats reports the diagnostics of the most recent Step, for the
@@ -120,6 +166,9 @@ type SolveStats struct {
 	Converged bool
 	// Objective is the QP objective at the solution.
 	Objective float64
+	// Warm reports whether the solve was seeded from the previous
+	// period's solution.
+	Warm bool
 }
 
 // LastSolve returns the diagnostics of the most recent Step (zero value
@@ -130,7 +179,8 @@ func (m *MPC) LastSolve() SolveStats { return m.last }
 // watts over the prediction horizon: the exponential approach from the
 // feedback power toward the target with time constant τ_r. The decision
 // trace records it so an operator can see what the controller was steering
-// toward, not just where it ended up.
+// toward, not just where it ended up. It allocates; the hot path calls it
+// only when a decision trace is attached.
 func (m *MPC) ReferenceTrajectory(pfbW, pTargetW float64) []float64 {
 	out := make([]float64, m.cfg.PredictionHorizon)
 	gap := pTargetW - pfbW
@@ -140,12 +190,29 @@ func (m *MPC) ReferenceTrajectory(pfbW, pTargetW float64) []float64 {
 	return out
 }
 
-// NewMPC returns a controller or an error for invalid configuration.
+// NewMPC returns a controller or an error for invalid configuration. All
+// solve buffers are allocated here, once, so Step never allocates in steady
+// state.
 func NewMPC(cfg MPCConfig) (*MPC, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &MPC{cfg: cfg}, nil
+	n := len(cfg.KWPerGHz)
+	nv := n
+	if cfg.FullHorizon {
+		nv = n * cfg.ControlHorizon
+	}
+	return &MPC{
+		cfg:      cfg,
+		h:        mathx.NewMatrix(nv, nv),
+		g:        mathx.NewVector(nv),
+		lo:       mathx.NewVector(nv),
+		hi:       mathx.NewVector(nv),
+		next:     make([]float64, n),
+		ws:       qp.NewWorkspace(nv),
+		warmX:    mathx.NewVector(nv),
+		warmMask: make([]bool, n),
+	}, nil
 }
 
 // Config returns the controller configuration.
@@ -153,16 +220,20 @@ func (m *MPC) Config() MPCConfig { return m.cfg }
 
 // Step computes the next per-core frequencies.
 //
-//	pfbW      — Eq. (6) feedback estimate of current batch power
-//	pTargetW  — the power budget P_batch from the load allocator
+//	pfbW      — Eq. (6) feedback estimate of current batch power (W)
+//	pTargetW  — the power budget P_batch from the load allocator (W)
 //	freqs     — current frequency of every batch core (GHz)
-//	rweights  — per-core urgency weights R_{i,j} (Section V-B); larger
-//	            weight pulls that core harder toward peak frequency
+//	rweights  — per-core urgency weights R_{i,j} (Section V-B),
+//	            dimensionless; larger weight pulls that core harder
+//	            toward peak frequency
 //
 // Following the paper's prediction simplification ("assuming the same
 // operation will continue in the following L_p control periods"), the move
 // Δf is constant over the horizon, so Eq. (8) collapses to a box-constrained
 // QP in Δf, solved exactly.
+//
+// The returned slice is owned by the controller and overwritten by the next
+// Step; callers that retain frequencies across periods must copy it.
 func (m *MPC) Step(pfbW, pTargetW float64, freqs, rweights []float64) ([]float64, error) {
 	return m.StepLocked(pfbW, pTargetW, freqs, rweights, nil)
 }
@@ -190,8 +261,12 @@ func (m *MPC) StepLocked(pfbW, pTargetW float64, freqs, rweights []float64, lock
 	// g = −Σ_{h=1..Lp} Q·h·e_h·k + Σ_{m=1..Lc} m·diag(R·RScale)·d
 	// where e_h = p_r(t+h) − p_fb = (P_batch − p_fb)(1 − exp(−h·T/τ_r))
 	// (Eq. 7) and d = F − F_max (how far below peak each core sits).
-	h := mathx.NewMatrix(n, n)
-	g := mathx.NewVector(n)
+	h := m.h
+	h.Zero()
+	g := m.g
+	for i := range g {
+		g[i] = 0
+	}
 	var sumH2 float64
 	gap := pTargetW - pfbW
 	for step := 1; step <= m.cfg.PredictionHorizon; step++ {
@@ -213,22 +288,21 @@ func (m *MPC) StepLocked(pfbW, pTargetW float64, freqs, rweights []float64, lock
 		g[i] += sumM * r * (freqs[i] - m.cfg.FMaxGHz)
 	}
 
-	lo := mathx.NewVector(n)
-	hi := mathx.NewVector(n)
+	lo, hi := m.lo, m.hi
 	for i := 0; i < n; i++ {
 		if locked != nil && locked[i] {
-			continue // lo = hi = 0: no move for this core
+			lo[i], hi[i] = 0, 0 // no move for this core
+			continue
 		}
 		lo[i] = m.cfg.FMinGHz - freqs[i]
 		hi[i] = m.cfg.FMaxGHz - freqs[i]
 	}
 
-	res, err := qp.Solve(qp.Problem{H: h, G: g, Lo: lo, Hi: hi}, qp.Options{})
+	res, err := m.solve(locked)
 	if err != nil {
 		return nil, fmt.Errorf("control: MPC QP: %w", err)
 	}
-	m.last = SolveStats{Sweeps: res.Sweeps, Converged: res.Converged, Objective: res.Objective}
-	next := make([]float64, n)
+	next := m.next
 	for i := 0; i < n; i++ {
 		next[i] = freqs[i] + res.X[i]
 		// Guard against accumulation error; the QP bounds already
@@ -249,17 +323,26 @@ func (m *MPC) StepLocked(pfbW, pTargetW float64, freqs, rweights []float64, lock
 func (m *MPC) stepFullHorizon(pfbW, pTargetW float64, freqs, rweights []float64, locked []bool) ([]float64, error) {
 	n := len(m.cfg.KWPerGHz)
 	lc := m.cfg.ControlHorizon
-	nv := n * lc
 	k := mathx.Vector(m.cfg.KWPerGHz)
 	gap := pTargetW - pfbW
 
-	h := mathx.NewMatrix(nv, nv)
-	g := mathx.NewVector(nv)
+	h := m.h
+	h.Zero()
+	g := m.g
+	for i := range g {
+		g[i] = 0
+	}
 
 	// Tracking term: for each prediction step hp, the active block is
 	// m(hp) = min(hp, Lc); accumulate Q·kkᵀ and −Q·e_hp·k there.
-	blockQ := make([]float64, lc+1) // Σ Q over steps mapped to block
-	blockE := make([]float64, lc+1) // Σ Q·e_hp over steps mapped to block
+	var blockQ [maxControlHorizon + 1]float64 // Σ Q over steps mapped to block
+	var blockE [maxControlHorizon + 1]float64 // Σ Q·e_hp over steps mapped to block
+	if lc > maxControlHorizon {
+		return nil, fmt.Errorf("control: ControlHorizon %d exceeds supported maximum %d", lc, maxControlHorizon)
+	}
+	for b := range blockQ[:lc+1] {
+		blockQ[b], blockE[b] = 0, 0
+	}
 	for hp := 1; hp <= m.cfg.PredictionHorizon; hp++ {
 		blk := hp
 		if blk > lc {
@@ -290,24 +373,23 @@ func (m *MPC) stepFullHorizon(pfbW, pTargetW float64, freqs, rweights []float64,
 		}
 	}
 
-	lo := mathx.NewVector(nv)
-	hi := mathx.NewVector(nv)
+	lo, hi := m.lo, m.hi
 	for blk := 0; blk < lc; blk++ {
 		for i := 0; i < n; i++ {
 			if locked != nil && locked[i] {
-				continue // lo = hi = 0: excluded from the move set
+				lo[blk*n+i], hi[blk*n+i] = 0, 0 // excluded from the move set
+				continue
 			}
 			lo[blk*n+i] = m.cfg.FMinGHz - freqs[i]
 			hi[blk*n+i] = m.cfg.FMaxGHz - freqs[i]
 		}
 	}
 
-	res, err := qp.Solve(qp.Problem{H: h, G: g, Lo: lo, Hi: hi}, qp.Options{})
+	res, err := m.solve(locked)
 	if err != nil {
 		return nil, fmt.Errorf("control: full-horizon MPC QP: %w", err)
 	}
-	m.last = SolveStats{Sweeps: res.Sweeps, Converged: res.Converged, Objective: res.Objective}
-	next := make([]float64, n)
+	next := m.next
 	for i := 0; i < n; i++ {
 		next[i] = freqs[i] + res.X[i] // first cumulative move z_1
 		if next[i] < m.cfg.FMinGHz {
@@ -319,8 +401,58 @@ func (m *MPC) stepFullHorizon(pfbW, pTargetW float64, freqs, rweights []float64,
 	return next, nil
 }
 
-// PredictPower returns the design model's one-step power prediction for a
-// frequency move, used by tests and the allocator's what-if analysis.
+// maxControlHorizon bounds the stack-allocated per-block accumulators of the
+// full-horizon formulation; real deployments use L_c of 2–4.
+const maxControlHorizon = 32
+
+// solve runs the QP over the prepared h/g/lo/hi buffers, warm-starting from
+// the cached previous solution when the configuration allows it and the
+// locked mask is unchanged, and refreshes the cache and LastSolve stats.
+func (m *MPC) solve(locked []bool) (qp.Result, error) {
+	if m.cfg.LegacyQP {
+		res, err := qp.Solve(qp.Problem{H: m.h, G: m.g, Lo: m.lo, Hi: m.hi}, qp.Options{})
+		if err != nil {
+			return res, err
+		}
+		m.last = SolveStats{Sweeps: res.Sweeps, Converged: res.Converged, Objective: res.Objective}
+		return res, nil
+	}
+	opt := qp.Options{Ws: m.ws}
+	warm := false
+	if m.cfg.WarmStart && m.warmOK && maskUnchanged(m.warmMask, locked) {
+		opt.Warm = m.warmX
+		warm = true
+	}
+	res, err := qp.Solve(qp.Problem{H: m.h, G: m.g, Lo: m.lo, Hi: m.hi}, opt)
+	if err != nil {
+		m.warmOK = false
+		return res, err
+	}
+	if m.cfg.WarmStart {
+		copy(m.warmX, res.X)
+		for i := range m.warmMask {
+			m.warmMask[i] = locked != nil && locked[i]
+		}
+		m.warmOK = true
+	}
+	m.last = SolveStats{Sweeps: res.Sweeps, Converged: res.Converged, Objective: res.Objective, Warm: warm}
+	return res, nil
+}
+
+// maskUnchanged reports whether the cached mask equals the requested one
+// (nil meaning all-unlocked).
+func maskUnchanged(cached []bool, locked []bool) bool {
+	for i, c := range cached {
+		l := locked != nil && locked[i]
+		if c != l {
+			return false
+		}
+	}
+	return true
+}
+
+// PredictPower returns the design model's one-step power prediction (W) for
+// a frequency move, used by tests and the allocator's what-if analysis.
 func (m *MPC) PredictPower(pfbW float64, dFreqs []float64) float64 {
 	p := pfbW
 	for i, k := range m.cfg.KWPerGHz {

@@ -50,10 +50,12 @@ func (c PIConfig) Validate() error {
 	return nil
 }
 
-// PI is the stateful single-loop controller.
+// PI is the stateful single-loop controller. Like MPC, it owns its output
+// buffer: the slice returned by Step is reused by the next call.
 type PI struct {
 	cfg      PIConfig
 	integral float64
+	next     []float64
 }
 
 // NewPI returns a controller or an error for invalid configuration.
@@ -61,21 +63,27 @@ func NewPI(cfg PIConfig) (*PI, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &PI{cfg: cfg}, nil
+	return &PI{cfg: cfg, next: make([]float64, cfg.Cores)}, nil
 }
 
 // Reset clears the integral state.
 func (p *PI) Reset() { p.integral = 0 }
 
 // Step computes the next per-core frequencies from the aggregate batch
-// power error. All cores receive the same move (the PI baseline has no
-// notion of per-core urgency, which is one of the things MPC adds).
+// power error (W in, GHz out). All cores receive the same move (the PI
+// baseline has no notion of per-core urgency, which is one of the things
+// MPC adds). The returned slice is reused by the next call; copy it to
+// retain.
 func (p *PI) Step(pfbW, pTargetW float64, freqs []float64) []float64 {
 	err := pTargetW - pfbW
 	p.integral += err * p.cfg.PeriodS
 	move := p.cfg.Kp*err + p.cfg.Ki*p.integral
 
-	next := make([]float64, len(freqs))
+	next := p.next
+	if len(next) != len(freqs) {
+		next = make([]float64, len(freqs))
+		p.next = next
+	}
 	var saturated bool
 	for i, f := range freqs {
 		nf := f + move

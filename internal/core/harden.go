@@ -122,6 +122,7 @@ type hardenState struct {
 	stuckCount  []int
 	locked      []bool
 	probeLeft   []int
+	maskBuf     []bool // reused lockedMask output (zero-alloc tick contract)
 }
 
 // enabled reports whether the defenses are active this sprint.
@@ -220,7 +221,10 @@ func (s *SprintCon) watchUPS(env *sim.Env, snap sim.Snapshot) {
 // silently stuck actuator). It also injects probe moves for locked cores
 // into next, so actuator recovery is eventually observed.
 func (s *SprintCon) lockedMask(env *sim.Env) []bool {
-	mask := make([]bool, len(s.hd.locked))
+	if len(s.hd.maskBuf) != len(s.hd.locked) {
+		s.hd.maskBuf = make([]bool, len(s.hd.locked))
+	}
+	mask := s.hd.maskBuf
 	for i, ref := range env.Rack.BatchCores() {
 		mask[i] = s.hd.locked[i] || env.Rack.ServerOffline(ref.Server)
 	}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"sprintcon/internal/sim"
+)
+
+// The steady-state tick path must not allocate when telemetry is off
+// (DESIGN.md §10): the MPC owns its solve buffers, the QP runs in a
+// workspace, and the per-period rack slices are reused. The engine's
+// recordTick appends are outside the policy and preallocated separately.
+func TestTickPathZeroAlloc(t *testing.T) {
+	scn := sim.DefaultScenario()
+	env, err := sim.BuildEnv(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(DefaultConfig())
+	if err := s.Start(env, scn); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := sim.Snapshot{
+		Dt:             scn.DtS,
+		MeasuredTotalW: env.Rack.MeasuredPower(),
+		CBPowerW:       env.Rack.TruePower(),
+		UPSSoC:         env.UPS.SoC(),
+	}
+	now := 0.0
+	tick := func() {
+		snap.Now = now
+		snap.MeasuredTotalW = env.Rack.MeasuredPower()
+		snap.CBPowerW = env.Rack.TruePower()
+		s.Tick(env, snap)
+		env.Rack.AdvanceBatch(scn.DtS, now)
+		now += scn.DtS
+	}
+	// Warm up: let the controllers fill caches, the allocator run a few
+	// P_batch updates (30 s cadence), and all append-backed buffers reach
+	// their steady capacity.
+	for i := 0; i < 120; i++ {
+		tick()
+	}
+
+	allocs := testing.AllocsPerRun(200, tick)
+	if allocs != 0 {
+		t.Fatalf("steady-state tick allocates %.2f times per run, want 0", allocs)
+	}
+}

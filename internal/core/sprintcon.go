@@ -103,6 +103,10 @@ type Config struct {
 	// discharge — classic power capping at the breaker rating ([8]).
 	// This quantifies what sprinting buys (experiment E17).
 	NoSprint bool
+	// LegacyQP forces the MPC onto the pre-optimization cold QP path (no
+	// warm start, no workspace). Benchmark-harness knob for measuring the
+	// hot-path speedup in one binary; leave false in production.
+	LegacyQP bool
 	// Harden configures the fault defenses (measurement guard, telemetry
 	// and UPS watchdogs, actuator-effectiveness monitoring). Defenses are
 	// ON by default; set Harden.Disabled for the paper-faithful
@@ -134,15 +138,19 @@ type SprintCon struct {
 	pi        *control.PI
 	upsctl    *control.UPSController
 
-	scn       sim.Scenario
-	cmdFreqs  []float64 // continuous commanded batch frequencies
-	kPerCore  float64
-	cSharePer float64
-	idleEstW  float64
-	pBatchMax float64
-	pBatchMin float64
-	fmin      float64
-	fmax      float64
+	scn      sim.Scenario
+	cmdFreqs []float64 // continuous commanded batch frequencies (owned)
+	// Per-control-period scratch, preallocated in Start so the steady
+	// state tick performs no heap allocation (DESIGN.md §10).
+	rwBuf      []float64
+	appliedBuf []float64
+	kPerCore   float64
+	cSharePer  float64
+	idleEstW   float64
+	pBatchMax  float64
+	pBatchMin  float64
+	fmin       float64
+	fmax       float64
 
 	mode         Mode
 	lastCtl      float64
@@ -241,6 +249,8 @@ func (s *SprintCon) Start(env *sim.Env, scn sim.Scenario) error {
 
 	n := len(env.Rack.BatchCores())
 	s.cmdFreqs = env.Rack.BatchFreqs()
+	s.rwBuf = make([]float64, n)
+	s.appliedBuf = make([]float64, n)
 
 	// Allocator: calibrated to the breaker unless overridden.
 	acfg := alloc.DefaultConfig(scn.Breaker.RatedPower, scn.Breaker.TripBudget())
@@ -306,6 +316,10 @@ func (s *SprintCon) rebuildControllers(n int) error {
 	mcfg.RefTimeConstS = s.cfg.RefTimeConstS
 	mcfg.FMinGHz, mcfg.FMaxGHz = s.fmin, s.fmax
 	mcfg.FullHorizon = s.cfg.Controller == ControllerMPCFull
+	if s.cfg.LegacyQP {
+		mcfg.LegacyQP = true
+		mcfg.WarmStart = false
+	}
 	m, err := control.NewMPC(mcfg)
 	if err != nil {
 		return fmt.Errorf("core: MPC: %w", err)
@@ -491,7 +505,7 @@ func (s *SprintCon) serverPowerControl(env *sim.Env, snap sim.Snapshot, pcb, pIn
 			s.curPBatch, target, s.allocator.InteractiveReserveW(), s.allocator.DeadlineShiftW())
 	}
 	s.curPBatch = target
-	rweights := env.Rack.RWeights(now)
+	rweights := env.Rack.RWeightsInto(s.rwBuf, now)
 	// Exclude cores with unresponsive actuators (and dark servers) from
 	// the move set: the optimizer must not budget power moves onto
 	// actuators that will not execute them.
@@ -561,8 +575,10 @@ func (s *SprintCon) serverPowerControl(env *sim.Env, snap sim.Snapshot, pcb, pIn
 		}
 		s.pending = in
 	}
-	s.cmdFreqs = next
-	applied, aerr := env.Rack.SetBatchFreqs(next)
+	// The controllers reuse their output buffer across periods, so copy
+	// rather than alias; aliasing would also zero the RLS move delta.
+	copy(s.cmdFreqs, next)
+	applied, aerr := env.Rack.SetBatchFreqsInto(next, s.appliedBuf)
 	if aerr != nil {
 		panic(fmt.Sprintf("core: SetBatchFreqs: %v", aerr)) // structural bug
 	}

@@ -141,33 +141,36 @@ func AblationOverloadSchedule() (*Table, error) {
 			"time_use", "cb_overload_energy_wh"},
 	}
 	scn := sim.DefaultScenario()
-	run := func(label string, mutate func(*alloc.Config)) error {
+	variants := []struct {
+		label  string
+		mutate func(*alloc.Config)
+	}{
+		{"periodic 1.25x150s/300s (paper)", nil},
+		{"no overload (degree→1)", func(c *alloc.Config) {
+			c.OverloadDegree = 1.0001
+		}},
+		{"constant safe degree for whole burst", func(c *alloc.Config) {
+			c.MidBurstS = 1000 // put the 900 s burst into the constant-overload regime
+		}},
+	}
+	jobs := make([]sim.Job, len(variants))
+	for i, v := range variants {
 		acfg := alloc.DefaultConfig(scn.Breaker.RatedPower, scn.Breaker.TripBudget())
-		if mutate != nil {
-			mutate(&acfg)
+		if v.mutate != nil {
+			v.mutate(&acfg)
 		}
 		cfg := core.DefaultConfig()
 		cfg.AllocOverride = &acfg
-		res, err := sim.Run(scn, core.New(cfg))
-		if err != nil {
-			return fmt.Errorf("%s: %w", label, err)
-		}
-		t.AddRow(label, res.CBTrips, res.UPSDoD, res.AvgFreqBatch,
+		jobs[i] = sim.Job{Key: v.label, Scenario: scn, Policy: core.New(cfg)}
+	}
+	results, err := sim.RunManyOrdered(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		res := results[i]
+		t.AddRow(v.label, res.CBTrips, res.UPSDoD, res.AvgFreqBatch,
 			res.NormalizedTimeUse(), res.EnergyCBOverWh)
-		return nil
-	}
-	if err := run("periodic 1.25x150s/300s (paper)", nil); err != nil {
-		return nil, err
-	}
-	if err := run("no overload (degree→1)", func(c *alloc.Config) {
-		c.OverloadDegree = 1.0001
-	}); err != nil {
-		return nil, err
-	}
-	if err := run("constant safe degree for whole burst", func(c *alloc.Config) {
-		c.MidBurstS = 1000 // put the 900 s burst into the constant-overload regime
-	}); err != nil {
-		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"design-choice check: the periodic schedule extracts the most overload energy from the breaker without tripping",
@@ -185,31 +188,34 @@ func AblationUPSControl() (*Table, error) {
 			"dod", "cb_trips"},
 	}
 	scn := sim.DefaultScenario()
-	run := func(label string, ucfg control.UPSControllerConfig) error {
-		cfg := core.DefaultConfig()
-		cfg.UPSCtl = ucfg
-		res, err := sim.Run(scn, core.New(cfg))
-		if err != nil {
-			return fmt.Errorf("%s: %w", label, err)
-		}
-		t.AddRow(label, res.CBOverBudgetFrac, res.CBTrackingErrorW, res.UPSDoD, res.CBTrips)
-		return nil
-	}
 	ff := control.DefaultUPSControllerConfig()
-	if err := run("feedforward+trim (paper)", ff); err != nil {
-		return nil, err
-	}
 	ffOnly := ff
 	ffOnly.TrimKi = 0
-	if err := run("feedforward only", ffOnly); err != nil {
-		return nil, err
-	}
 	pi := control.UPSControllerConfig{
 		PeriodS: 1, TrimKi: 0.4, TrimKp: 0.8, TrimLimitW: 2000,
 		Feedforward: false, TargetMarginW: 30,
 	}
-	if err := run("pure PI (no feedforward)", pi); err != nil {
+	variants := []struct {
+		label string
+		ucfg  control.UPSControllerConfig
+	}{
+		{"feedforward+trim (paper)", ff},
+		{"feedforward only", ffOnly},
+		{"pure PI (no feedforward)", pi},
+	}
+	jobs := make([]sim.Job, len(variants))
+	for i, v := range variants {
+		cfg := core.DefaultConfig()
+		cfg.UPSCtl = v.ucfg
+		jobs[i] = sim.Job{Key: v.label, Scenario: scn, Policy: core.New(cfg)}
+	}
+	results, err := sim.RunManyOrdered(jobs)
+	if err != nil {
 		return nil, err
+	}
+	for i, v := range variants {
+		res := results[i]
+		t.AddRow(v.label, res.CBOverBudgetFrac, res.CBTrackingErrorW, res.UPSDoD, res.CBTrips)
 	}
 	t.Notes = append(t.Notes,
 		"design-choice check: without feedforward the controller chases interactive fluctuation and violates the CB budget more often")
@@ -224,15 +230,32 @@ func Sensitivity() (*Table, error) {
 		Title:   "A4: control period and τ_r sensitivity",
 		Columns: []string{"period_s", "tau_r_s", "misses", "dod", "time_use", "cb_over_budget_frac"},
 	}
-	for _, period := range []float64{2, 4, 8} {
-		for _, tau := range []float64{1, 2, 8} {
+	periods := []float64{2, 4, 8}
+	taus := []float64{1, 2, 8}
+	// The grid's runs are independent seeded simulations: execute them on
+	// the worker pool and emit rows in deterministic grid order.
+	var jobs []sim.Job
+	for _, period := range periods {
+		for _, tau := range taus {
 			cfg := core.DefaultConfig()
 			cfg.ControlPeriodS = period
 			cfg.RefTimeConstS = tau
-			res, err := sim.Run(sim.DefaultScenario(), core.New(cfg))
-			if err != nil {
-				return nil, fmt.Errorf("period %v tau %v: %w", period, tau, err)
-			}
+			jobs = append(jobs, sim.Job{
+				Key:      fmt.Sprintf("period=%v,tau=%v", period, tau),
+				Scenario: sim.DefaultScenario(),
+				Policy:   core.New(cfg),
+			})
+		}
+	}
+	results, err := sim.RunManyOrdered(jobs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, period := range periods {
+		for _, tau := range taus {
+			res := results[i]
+			i++
 			t.AddRow(period, tau, res.DeadlineMisses, res.UPSDoD,
 				res.NormalizedTimeUse(), res.CBOverBudgetFrac)
 		}

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 )
 
 // Kind names a fault type. The string values are stable identifiers used in
@@ -153,6 +154,15 @@ func (f Fault) Validate() error {
 // Plan is the fault schedule of one run. The zero value injects nothing.
 type Plan struct {
 	Faults []Fault `json:"Faults,omitempty"`
+	// OnsetJitterS randomizes each fault's onset by a uniform draw from
+	// [0, OnsetJitterS) seconds, deterministically from Seed. Zero (the
+	// default) keeps the scheduled onsets exactly. Multi-rack runs offset
+	// Seed per rack so the racks see independent fault timings instead of
+	// a physically implausible synchronized failure wave.
+	OnsetJitterS float64 `json:"OnsetJitterS,omitempty"`
+	// Seed drives the onset jitter; plans with equal seeds produce equal
+	// schedules. Ignored when OnsetJitterS is zero.
+	Seed int64 `json:"Seed,omitempty"`
 }
 
 // Empty reports whether the plan injects no faults.
@@ -160,6 +170,9 @@ func (p Plan) Empty() bool { return len(p.Faults) == 0 }
 
 // Validate reports structural errors in the plan.
 func (p Plan) Validate() error {
+	if math.IsNaN(p.OnsetJitterS) || math.IsInf(p.OnsetJitterS, 0) || p.OnsetJitterS < 0 {
+		return fmt.Errorf("faults: onset jitter %g must be finite and non-negative", p.OnsetJitterS)
+	}
 	for i, f := range p.Faults {
 		if err := f.Validate(); err != nil {
 			return fmt.Errorf("faults: fault %d: %w", i, err)
@@ -208,6 +221,17 @@ func NewInjector(p Plan, dt float64) *Injector {
 	}
 	if dt <= 0 || math.IsNaN(dt) {
 		panic(fmt.Sprintf("faults: NewInjector with dt %g", dt))
+	}
+	if p.OnsetJitterS > 0 {
+		// Copy before jittering: the caller's plan (often shared across
+		// racks of a sweep) must stay untouched.
+		jittered := make([]Fault, len(p.Faults))
+		copy(jittered, p.Faults)
+		rng := rand.New(rand.NewSource(p.Seed))
+		for i := range jittered {
+			jittered[i].OnsetS += rng.Float64() * p.OnsetJitterS
+		}
+		p.Faults = jittered
 	}
 	return &Injector{plan: p, dt: dt, active: make([]bool, len(p.Faults))}
 }

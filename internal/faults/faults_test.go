@@ -252,3 +252,65 @@ func TestInjectorDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// onsetTime scans the injector for the tick at which the plan's single
+// fault becomes active.
+func onsetTime(t *testing.T, in *Injector, dt, horizon float64) float64 {
+	t.Helper()
+	for now := 0.0; now < horizon; now += dt {
+		onsets, _ := in.Step(now)
+		if len(onsets) > 0 {
+			return now
+		}
+	}
+	t.Fatal("fault never became active")
+	return 0
+}
+
+func TestOnsetJitterDeterministic(t *testing.T) {
+	plan := Plan{
+		Faults:       []Fault{{Kind: MonitorDropout, OnsetS: 100, DurationS: 50}},
+		OnsetJitterS: 200,
+		Seed:         7,
+	}
+	a := onsetTime(t, NewInjector(plan, 1), 1, 1000)
+	b := onsetTime(t, NewInjector(plan, 1), 1, 1000)
+	if a != b {
+		t.Fatalf("same seed must give the same onset: %v vs %v", a, b)
+	}
+	if a < 100 || a >= 300 {
+		t.Fatalf("jittered onset %v outside [100, 300)", a)
+	}
+	// The caller's plan must not have been mutated.
+	if plan.Faults[0].OnsetS != 100 {
+		t.Fatalf("plan mutated: onset now %v", plan.Faults[0].OnsetS)
+	}
+
+	other := plan
+	other.Seed = 8
+	c := onsetTime(t, NewInjector(other, 1), 1, 1000)
+	if c == a {
+		t.Fatalf("different seeds should move the onset (both %v)", a)
+	}
+}
+
+func TestZeroJitterKeepsExactOnsets(t *testing.T) {
+	plan := Plan{
+		Faults: []Fault{{Kind: MonitorDropout, OnsetS: 100, DurationS: 50}},
+		Seed:   99, // ignored without jitter
+	}
+	if got := onsetTime(t, NewInjector(plan, 1), 1, 1000); got != 100 {
+		t.Fatalf("zero jitter must keep the scheduled onset, got %v", got)
+	}
+}
+
+func TestPlanValidateJitter(t *testing.T) {
+	bad := Plan{OnsetJitterS: -1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative jitter should error")
+	}
+	bad.OnsetJitterS = math.Inf(1)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("infinite jitter should error")
+	}
+}

@@ -43,6 +43,14 @@ func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
 // Inc adds v to the element at row i, column j.
 func (m *Matrix) Inc(i, j int, v float64) { m.data[i*m.cols+j] += v }
 
+// Zero resets every element to 0 in place, so a preallocated matrix can be
+// rebuilt each control period without allocating.
+func (m *Matrix) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
 // Clone returns a deep copy of m.
 func (m *Matrix) Clone() *Matrix {
 	c := NewMatrix(m.rows, m.cols)
@@ -55,19 +63,27 @@ func (m *Matrix) Row(i int) Vector { return Vector(m.data[i*m.cols : (i+1)*m.col
 
 // MulVec returns m·x.
 func (m *Matrix) MulVec(x Vector) Vector {
+	return m.MulVecInto(make(Vector, m.rows), x)
+}
+
+// MulVecInto computes dst = m·x in place and returns dst, for allocation-free
+// hot paths. dst must have length m.Rows() and must not alias x.
+func (m *Matrix) MulVecInto(dst, x Vector) Vector {
 	if len(x) != m.cols {
 		panic(fmt.Sprintf("mathx: MulVec dimension mismatch %dx%d · %d", m.rows, m.cols, len(x)))
 	}
-	y := make(Vector, m.rows)
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("mathx: MulVecInto dst length %d for %d rows", len(dst), m.rows))
+	}
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		var s float64
 		for j, v := range row {
 			s += v * x[j]
 		}
-		y[i] = s
+		dst[i] = s
 	}
-	return y
+	return dst
 }
 
 // Mul returns m·b.
@@ -154,8 +170,25 @@ func (m *Matrix) Cholesky() (*Matrix, error) {
 	if m.rows != m.cols {
 		return nil, fmt.Errorf("mathx: Cholesky of non-square %dx%d matrix", m.rows, m.cols)
 	}
+	l := NewMatrix(m.rows, m.rows)
+	if err := m.CholeskyInto(l); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// CholeskyInto factors m = L·Lᵀ into the preallocated l (same shape as m),
+// overwriting l's lower triangle; entries above the diagonal are left as-is
+// and are never read by SolveCholesky. It performs no allocation, so a
+// warm-started solver can refactor every period without garbage.
+func (m *Matrix) CholeskyInto(l *Matrix) error {
+	if m.rows != m.cols {
+		return fmt.Errorf("mathx: Cholesky of non-square %dx%d matrix", m.rows, m.cols)
+	}
+	if l.rows != m.rows || l.cols != m.cols {
+		return fmt.Errorf("mathx: CholeskyInto destination %dx%d for %dx%d matrix", l.rows, l.cols, m.rows, m.cols)
+	}
 	n := m.rows
-	l := NewMatrix(n, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j <= i; j++ {
 			s := m.At(i, j)
@@ -164,7 +197,7 @@ func (m *Matrix) Cholesky() (*Matrix, error) {
 			}
 			if i == j {
 				if s <= 0 {
-					return nil, fmt.Errorf("mathx: Cholesky: matrix not positive definite at pivot %d (value %g)", i, s)
+					return fmt.Errorf("mathx: Cholesky: matrix not positive definite at pivot %d (value %g)", i, s)
 				}
 				l.Set(i, i, math.Sqrt(s))
 			} else {
@@ -172,18 +205,25 @@ func (m *Matrix) Cholesky() (*Matrix, error) {
 			}
 		}
 	}
-	return l, nil
+	return nil
 }
 
 // SolveCholesky solves m·x = b given the Cholesky factor l of m
 // (forward then backward substitution).
 func SolveCholesky(l *Matrix, b Vector) Vector {
 	n := l.rows
-	if len(b) != n {
-		panic(fmt.Sprintf("mathx: SolveCholesky dimension mismatch %d vs %d", n, len(b)))
+	return SolveCholeskyInto(l, b, make(Vector, n), make(Vector, n))
+}
+
+// SolveCholeskyInto solves m·x = b given the Cholesky factor l of m, writing
+// the intermediate forward solve into y and the solution into x (both length
+// l.Rows(); x is returned). It performs no allocation. b may alias x but not y.
+func SolveCholeskyInto(l *Matrix, b, y, x Vector) Vector {
+	n := l.rows
+	if len(b) != n || len(y) != n || len(x) != n {
+		panic(fmt.Sprintf("mathx: SolveCholesky dimension mismatch %d vs b=%d y=%d x=%d", n, len(b), len(y), len(x)))
 	}
 	// Forward: L·y = b.
-	y := make(Vector, n)
 	for i := 0; i < n; i++ {
 		s := b[i]
 		for k := 0; k < i; k++ {
@@ -192,7 +232,6 @@ func SolveCholesky(l *Matrix, b Vector) Vector {
 		y[i] = s / l.At(i, i)
 	}
 	// Backward: Lᵀ·x = y.
-	x := make(Vector, n)
 	for i := n - 1; i >= 0; i-- {
 		s := y[i]
 		for k := i + 1; k < n; k++ {

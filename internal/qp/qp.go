@@ -10,6 +10,23 @@
 // falls back to cyclic projected coordinate descent, which converges to the
 // unique minimizer for strictly convex quadratics. Problem sizes here are at
 // most a few hundred variables (one per batch CPU core on the rack).
+//
+// Two optional accelerations serve the per-control-period hot path:
+//
+//   - Options.Warm seeds the solver with the previous period's solution
+//     (the MPC re-solves a nearly identical QP every period, so the
+//     previous minimizer — and, more importantly, its active bound set —
+//     is almost exactly right for the new problem);
+//   - Options.Ws supplies a reusable Workspace so a steady-state solve
+//     performs no heap allocation at all.
+//
+// Either option selects the fast path: box-constrained solves run a primal
+// active-set Newton method (one small Cholesky factorization of the free
+// block per working-set change) whose working set is initialized from the
+// seed's bound pattern, falling back to projected coordinate descent only
+// on numerically degenerate problems. Calls without options run the
+// original, bit-exact legacy coordinate-descent path; fast-path results
+// agree with it within the KKT tolerance, not bit for bit.
 package qp
 
 import (
@@ -22,13 +39,14 @@ import (
 
 // Problem describes a box-constrained quadratic program.
 type Problem struct {
-	H  *mathx.Matrix // symmetric positive definite cost matrix
-	G  mathx.Vector  // linear cost term
-	Lo mathx.Vector  // element-wise lower bounds
-	Hi mathx.Vector  // element-wise upper bounds
+	H  *mathx.Matrix // symmetric positive definite cost matrix (units: cost per unit²)
+	G  mathx.Vector  // linear cost term (units: cost per unit)
+	Lo mathx.Vector  // element-wise lower bounds (decision-variable units, e.g. GHz)
+	Hi mathx.Vector  // element-wise upper bounds (decision-variable units, e.g. GHz)
 }
 
-// Options controls solver effort.
+// Options controls solver effort and, via Warm and Ws, the hot-path
+// accelerations. The zero value selects the legacy cold solver.
 type Options struct {
 	// MaxSweeps bounds the number of full coordinate-descent sweeps.
 	// Zero selects the default (500).
@@ -36,14 +54,72 @@ type Options struct {
 	// Tol is the KKT residual tolerance. Zero selects the default (1e-9,
 	// scaled by the magnitude of the gradient).
 	Tol float64
+	// Warm, when non-nil, seeds the fast path with this point (projected
+	// into the box) instead of the projection of 0. The unconstrained
+	// Cholesky shortcut still runs first — when the box is inactive it is
+	// exact and beats any iteration — so the warm point matters for
+	// box-constrained solves, where its bound pattern initializes the
+	// active-set solver's working set and typically saves all but O(1)
+	// iterations. Warm must have the problem's dimension; it is read,
+	// never written.
+	Warm mathx.Vector
+	// Ws, when non-nil, provides preallocated scratch so the solve
+	// performs no heap allocation; Result.X then aliases workspace memory
+	// that the next Solve with the same workspace overwrites (copy it if
+	// it must outlive the next call). Workspaces are not safe for
+	// concurrent use.
+	Ws *Workspace
 }
 
 // Result reports the solution of a Problem.
 type Result struct {
-	X         mathx.Vector // minimizer
+	X         mathx.Vector // minimizer (aliases Options.Ws scratch when set)
 	Objective float64      // ½xᵀHx + gᵀx at X
-	Sweeps    int          // coordinate-descent sweeps used (0 if unconstrained shortcut hit)
-	Converged bool         // KKT residual below tolerance
+	// Sweeps counts solver iterations: coordinate-descent sweeps on the
+	// legacy path, active-set Newton iterations (one free-block
+	// factorization each) on the fast path. 0 when the unconstrained
+	// Cholesky shortcut solved the problem outright.
+	Sweeps    int
+	Converged bool // KKT residual below tolerance
+}
+
+// Workspace holds the scratch buffers of one solver instance. Reusing a
+// Workspace across Solve calls eliminates every steady-state allocation of
+// the hot path; see Options.Ws for the aliasing contract.
+type Workspace struct {
+	x, grad, scratch mathx.Vector
+	y                mathx.Vector // triangular-solve intermediate
+	chol             *mathx.Matrix
+	// Active-set solver scratch: the free-variable subproblem H_FF·d = −g_F
+	// is factored in place in subH (row-major, m×m packed into the first
+	// m² entries), with subB as its right-hand side / solution.
+	free   []int
+	pinned []bool
+	subH   []float64
+	subB   []float64
+}
+
+// NewWorkspace returns a workspace for n-variable problems.
+func NewWorkspace(n int) *Workspace {
+	w := &Workspace{}
+	w.ensure(n)
+	return w
+}
+
+// ensure (re)sizes the buffers for an n-variable problem.
+func (w *Workspace) ensure(n int) {
+	if len(w.x) == n && w.chol != nil {
+		return
+	}
+	w.x = mathx.NewVector(n)
+	w.grad = mathx.NewVector(n)
+	w.scratch = mathx.NewVector(n)
+	w.y = mathx.NewVector(n)
+	w.chol = mathx.NewMatrix(n, n)
+	w.free = make([]int, 0, n)
+	w.pinned = make([]bool, n)
+	w.subH = make([]float64, n*n)
+	w.subB = make([]float64, n)
 }
 
 const (
@@ -90,6 +166,12 @@ func (p Problem) Objective(x mathx.Vector) float64 {
 	return 0.5*x.Dot(hx) + p.G.Dot(x)
 }
 
+// objectiveWith evaluates the objective using scratch for H·x (no allocation).
+func (p Problem) objectiveWith(x, scratch mathx.Vector) float64 {
+	hx := p.H.MulVecInto(scratch, x)
+	return 0.5*x.Dot(hx) + p.G.Dot(x)
+}
+
 // Gradient evaluates Hx + g.
 func (p Problem) Gradient(x mathx.Vector) mathx.Vector {
 	grad := p.H.MulVec(x)
@@ -97,12 +179,23 @@ func (p Problem) Gradient(x mathx.Vector) mathx.Vector {
 	return grad
 }
 
+// gradientInto evaluates dst = Hx + g without allocating.
+func (p Problem) gradientInto(dst, x mathx.Vector) mathx.Vector {
+	p.H.MulVecInto(dst, x)
+	dst.AXPY(1, p.G)
+	return dst
+}
+
 // KKTResidual returns the maximum violation of the first-order optimality
 // conditions for the box-constrained problem at x: at a lower bound the
 // gradient may be positive, at an upper bound negative, and in the interior
 // it must vanish.
 func (p Problem) KKTResidual(x mathx.Vector) float64 {
-	grad := p.Gradient(x)
+	return p.residualAt(x, p.Gradient(x))
+}
+
+// residualAt evaluates the KKT residual at x given grad = Hx + g.
+func (p Problem) residualAt(x, grad mathx.Vector) float64 {
 	var r float64
 	for i, gi := range grad {
 		var v float64
@@ -145,7 +238,18 @@ func Solve(p Problem, opt Options) (Result, error) {
 	if n == 0 {
 		return Result{X: mathx.Vector{}, Converged: true}, nil
 	}
+	if len(opt.Warm) != 0 && len(opt.Warm) != n {
+		return Result{}, fmt.Errorf("%w: warm start has %d elements for n=%d", ErrDimension, len(opt.Warm), n)
+	}
+	if opt.Ws != nil || len(opt.Warm) > 0 {
+		return solveFast(p, opt, maxSweeps, tol)
+	}
+	return solveLegacy(p, opt, maxSweeps, tol)
+}
 
+// solveLegacy is the original cold solver, kept bit-exact for callers that
+// pass no warm start and no workspace.
+func solveLegacy(p Problem, _ Options, maxSweeps int, tol float64) (Result, error) {
 	// Fast path: unconstrained minimizer, if it respects the box.
 	if x, err := p.H.SolveSPD(p.G.Scale(-1)); err == nil {
 		inBox := true
@@ -164,8 +268,7 @@ func Solve(p Problem, opt Options) (Result, error) {
 	// Projected cyclic coordinate descent. Maintain grad = Hx + g
 	// incrementally: an update Δ to x_i adds Δ·H[:,i] to the gradient.
 	x := p.Lo.Clone()
-	// Start from the box-projected unconstrained guess when available,
-	// otherwise from the projection of 0.
+	// Start from the projection of 0.
 	for i := range x {
 		x[i] = math.Min(math.Max(0, p.Lo[i]), p.Hi[i])
 	}
@@ -173,26 +276,7 @@ func Solve(p Problem, opt Options) (Result, error) {
 
 	sweeps := 0
 	for ; sweeps < maxSweeps; sweeps++ {
-		var maxMove float64
-		for i := 0; i < n; i++ {
-			hii := p.H.At(i, i)
-			xi := x[i] - grad[i]/hii
-			if xi < p.Lo[i] {
-				xi = p.Lo[i]
-			} else if xi > p.Hi[i] {
-				xi = p.Hi[i]
-			}
-			d := xi - x[i]
-			if d == 0 {
-				continue
-			}
-			x[i] = xi
-			// grad += d * H[:,i] (H symmetric, so use row i).
-			grad.AXPY(d, p.H.Row(i))
-			if a := math.Abs(d); a > maxMove {
-				maxMove = a
-			}
-		}
+		maxMove := sweepOnce(p, x, grad)
 		if p.KKTResidual(x) <= tol {
 			return Result{X: x, Objective: p.Objective(x), Sweeps: sweeps + 1, Converged: true}, nil
 		}
@@ -206,4 +290,268 @@ func Solve(p Problem, opt Options) (Result, error) {
 		Sweeps:    sweeps,
 		Converged: p.KKTResidual(x) <= tol*10,
 	}, nil
+}
+
+// solveFast is the hot-path solver: allocation-free with a workspace,
+// optionally warm-started, converging on the incrementally maintained
+// gradient with an exact verification before any solution is accepted.
+func solveFast(p Problem, opt Options, maxSweeps int, tol float64) (Result, error) {
+	n := len(p.G)
+	ws := opt.Ws
+	if ws == nil {
+		ws = NewWorkspace(n)
+	}
+	ws.ensure(n)
+	x := ws.x
+
+	// The unconstrained Cholesky shortcut is the best opening move even
+	// with a warm point: when the box is inactive it is exact in O(n³),
+	// while coordinate descent on the rank-one-coupled MPC Hessian can
+	// need hundreds of O(n²) sweeps.
+	for i := range ws.scratch {
+		ws.scratch[i] = -p.G[i]
+	}
+	if err := p.H.CholeskyInto(ws.chol); err == nil {
+		mathx.SolveCholeskyInto(ws.chol, ws.scratch, ws.y, x)
+		inBox := true
+		for i := range x {
+			if x[i] < p.Lo[i]-1e-12 || x[i] > p.Hi[i]+1e-12 {
+				inBox = false
+				break
+			}
+		}
+		if inBox {
+			x.Clamp(p.Lo, p.Hi)
+			return Result{X: x, Objective: p.objectiveWith(x, ws.scratch), Converged: true}, nil
+		}
+	}
+	// Box-constrained: run the primal active-set solver, seeded from the
+	// warm point when given (its bound pattern is near the optimal active
+	// set on a re-solve), else from the projection of 0 as in the legacy
+	// path.
+	if len(opt.Warm) != 0 {
+		copy(x, opt.Warm)
+		x.Clamp(p.Lo, p.Hi)
+	} else {
+		for i := range x {
+			x[i] = math.Min(math.Max(0, p.Lo[i]), p.Hi[i])
+		}
+	}
+
+	res, asIters, ok := solveActiveSet(p, ws, x, tol)
+	if ok {
+		return res, nil
+	}
+
+	// Robustness fallback: projected coordinate descent from wherever the
+	// active-set solver stopped (it never moves x uphill, so the iterate
+	// is a valid descent seed). This path only runs on numerically
+	// degenerate problems the factorization cannot handle.
+	grad := p.gradientInto(ws.grad, x)
+	sweeps := 0
+	for ; sweeps < maxSweeps; sweeps++ {
+		maxMove := sweepOnce(p, x, grad)
+		// Cheap O(n) convergence test on the maintained gradient; only
+		// when it passes do we pay the O(n²) exact recomputation, which
+		// both confirms optimality and resets any incremental drift.
+		if p.residualAt(x, grad) <= tol {
+			grad = p.gradientInto(ws.grad, x)
+			if p.residualAt(x, grad) <= tol {
+				return Result{X: x, Objective: p.objectiveWith(x, ws.scratch), Sweeps: asIters + sweeps + 1, Converged: true}, nil
+			}
+		}
+		if maxMove == 0 {
+			break // stationary but KKT above tol: numerical floor reached
+		}
+	}
+	grad = p.gradientInto(ws.grad, x)
+	return Result{
+		X:         x,
+		Objective: p.objectiveWith(x, ws.scratch),
+		Sweeps:    asIters + sweeps,
+		Converged: p.residualAt(x, grad) <= tol*10,
+	}, nil
+}
+
+// activeSetIterCap bounds primal active-set iterations for an n-variable
+// problem. In the non-degenerate case the solver needs at most one
+// iteration per active-set change plus one final full step, so 3n+16 is
+// generous; hitting the cap triggers the coordinate-descent fallback.
+func activeSetIterCap(n int) int { return 3*n + 16 }
+
+// solveActiveSet minimizes the box-constrained QP by primal active-set
+// Newton iterations starting from the feasible seed in x (modified in
+// place). Each iteration factors the free-variable block H_FF and takes
+// the Newton step −H_FF⁻¹·g_F, truncated at the first blocking bound
+// (which joins the working set); after a full step, the pinned coordinate
+// with the most negative Lagrange multiplier is released. The working set
+// is initialized from the seed's bound pattern, which is why a warm start
+// converges in O(1) iterations: the previous period's solution already
+// pins (almost) the right coordinates.
+//
+// Returns ok=false — with the number of iterations spent — when the
+// subproblem factorization fails or the iteration cap is hit; x then holds
+// the best iterate for the caller's fallback.
+func solveActiveSet(p Problem, ws *Workspace, x mathx.Vector, tol float64) (Result, int, bool) {
+	n := len(x)
+	pin := ws.pinned
+	for i := 0; i < n; i++ {
+		pin[i] = x[i] <= p.Lo[i] || x[i] >= p.Hi[i]
+	}
+	for iter := 0; iter < activeSetIterCap(n); iter++ {
+		grad := p.gradientInto(ws.grad, x)
+		if p.residualAt(x, grad) <= tol {
+			return Result{X: x, Objective: p.objectiveWith(x, ws.scratch), Sweeps: iter, Converged: true}, iter, true
+		}
+
+		free := ws.free[:0]
+		for i := 0; i < n; i++ {
+			if !pin[i] {
+				free = append(free, i)
+			}
+		}
+		m := len(free)
+		blocked := false
+		if m > 0 {
+			subH := ws.subH[:m*m]
+			subB := ws.subB[:m]
+			for a, i := range free {
+				row := p.H.Row(i)
+				for b, j := range free {
+					subH[a*m+b] = row[j]
+				}
+				subB[a] = -grad[i]
+			}
+			if !cholSolveInPlace(subH, subB, m) {
+				return Result{}, iter, false // not SPD on the free block: fall back
+			}
+			// Truncate the Newton step at the first bound crossing.
+			alpha, blk, blkAt := 1.0, -1, 0.0
+			for a, i := range free {
+				d := subB[a]
+				if d > 0 && x[i]+d > p.Hi[i] {
+					if s := (p.Hi[i] - x[i]) / d; s < alpha {
+						alpha, blk, blkAt = s, i, p.Hi[i]
+					}
+				} else if d < 0 && x[i]+d < p.Lo[i] {
+					if s := (p.Lo[i] - x[i]) / d; s < alpha {
+						alpha, blk, blkAt = s, i, p.Lo[i]
+					}
+				}
+			}
+			for a, i := range free {
+				xi := x[i] + alpha*subB[a]
+				if xi < p.Lo[i] {
+					xi = p.Lo[i]
+				} else if xi > p.Hi[i] {
+					xi = p.Hi[i]
+				}
+				x[i] = xi
+			}
+			if blk >= 0 {
+				x[blk] = blkAt // land exactly on the blocking bound
+				pin[blk] = true
+				blocked = true
+			}
+		}
+		if blocked {
+			continue
+		}
+		// Full step taken (the free block is at its equality-constrained
+		// optimum): release the pinned coordinate whose multiplier says
+		// the bound is not binding. Releasing only after a full step is
+		// what prevents active-set cycling.
+		grad = p.gradientInto(ws.grad, x)
+		worst, worstI := tol, -1
+		for i := 0; i < n; i++ {
+			if !pin[i] || p.Lo[i] >= p.Hi[i] {
+				continue
+			}
+			var v float64
+			if x[i] <= p.Lo[i] {
+				v = -grad[i] // at lower bound, optimality needs grad ≥ 0
+			} else {
+				v = grad[i] // at upper bound, optimality needs grad ≤ 0
+			}
+			if v > worst {
+				worst, worstI = v, i
+			}
+		}
+		if worstI < 0 {
+			// All multipliers optimal and the free gradient vanished by
+			// construction; confirm with the exact residual.
+			if p.residualAt(x, grad) <= tol {
+				return Result{X: x, Objective: p.objectiveWith(x, ws.scratch), Sweeps: iter + 1, Converged: true}, iter + 1, true
+			}
+			return Result{}, iter + 1, false // residual floor: fall back
+		}
+		pin[worstI] = false
+	}
+	return Result{}, activeSetIterCap(n), false
+}
+
+// cholSolveInPlace factors the m×m row-major SPD matrix a in place
+// (lower-triangular Cholesky) and overwrites b with the solution of the
+// original system a·x = b. Returns false if a is not numerically SPD.
+func cholSolveInPlace(a, b []float64, m int) bool {
+	for j := 0; j < m; j++ {
+		d := a[j*m+j]
+		for k := 0; k < j; k++ {
+			d -= a[j*m+k] * a[j*m+k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return false
+		}
+		d = math.Sqrt(d)
+		a[j*m+j] = d
+		for i := j + 1; i < m; i++ {
+			s := a[i*m+j]
+			for k := 0; k < j; k++ {
+				s -= a[i*m+k] * a[j*m+k]
+			}
+			a[i*m+j] = s / d
+		}
+	}
+	for i := 0; i < m; i++ { // forward: L·y = b
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= a[i*m+k] * b[k]
+		}
+		b[i] = s / a[i*m+i]
+	}
+	for i := m - 1; i >= 0; i-- { // backward: Lᵀ·x = y
+		s := b[i]
+		for k := i + 1; k < m; k++ {
+			s -= a[k*m+i] * b[k]
+		}
+		b[i] = s / a[i*m+i]
+	}
+	return true
+}
+
+// sweepOnce performs one cyclic projected coordinate-descent sweep over x,
+// maintaining grad = Hx + g incrementally, and returns the largest
+// coordinate move of the sweep.
+func sweepOnce(p Problem, x, grad mathx.Vector) float64 {
+	var maxMove float64
+	for i := range x {
+		hii := p.H.At(i, i)
+		xi := x[i] - grad[i]/hii
+		if xi < p.Lo[i] {
+			xi = p.Lo[i]
+		} else if xi > p.Hi[i] {
+			xi = p.Hi[i]
+		}
+		d := xi - x[i]
+		if d == 0 {
+			continue
+		}
+		x[i] = xi
+		// grad += d * H[:,i] (H symmetric, so use row i).
+		grad.AXPY(d, p.H.Row(i))
+		if a := math.Abs(d); a > maxMove {
+			maxMove = a
+		}
+	}
+	return maxMove
 }

@@ -265,12 +265,21 @@ func (r *Rack) SetInteractiveFreq(f float64) {
 }
 
 // SetBatchFreqs applies a frequency per batch core in BatchCores() order,
-// quantized to the P-state table, and returns the applied values.
+// quantized to the P-state table, and returns the applied values (GHz).
 func (r *Rack) SetBatchFreqs(freqs []float64) ([]float64, error) {
+	return r.SetBatchFreqsInto(freqs, make([]float64, len(freqs)))
+}
+
+// SetBatchFreqsInto is SetBatchFreqs writing the applied values into the
+// preallocated applied slice (returned), for allocation-free control
+// periods. applied must have the same length as freqs and may alias it.
+func (r *Rack) SetBatchFreqsInto(freqs, applied []float64) ([]float64, error) {
 	if len(freqs) != len(r.batch) {
 		return nil, fmt.Errorf("rack: got %d frequencies for %d batch cores", len(freqs), len(r.batch))
 	}
-	applied := make([]float64, len(freqs))
+	if len(applied) != len(freqs) {
+		return nil, fmt.Errorf("rack: applied buffer length %d for %d batch cores", len(applied), len(r.batch))
+	}
 	for i, ref := range r.batch {
 		applied[i] = r.SetCoreFreq(ref, freqs[i])
 	}
@@ -380,18 +389,28 @@ func (r *Rack) BatchFeedback(measuredTotal float64) float64 {
 	return math.Max(0, fb)
 }
 
-// RWeights returns the paper's per-batch-core control-penalty weights at
-// time now, in BatchCores() order (1 for unbound cores).
+// RWeights returns the paper's per-batch-core control-penalty weights
+// R_{i,j} (dimensionless) at time now, in BatchCores() order (1 for unbound
+// cores).
 func (r *Rack) RWeights(now float64) []float64 {
-	out := make([]float64, len(r.batch))
+	return r.RWeightsInto(make([]float64, len(r.batch)), now)
+}
+
+// RWeightsInto is RWeights writing into the preallocated dst (returned),
+// for allocation-free control periods. dst must have one element per batch
+// core.
+func (r *Rack) RWeightsInto(dst []float64, now float64) []float64 {
+	if len(dst) != len(r.batch) {
+		panic(fmt.Sprintf("rack: RWeightsInto dst length %d for %d batch cores", len(dst), len(r.batch)))
+	}
 	for i, ref := range r.batch {
 		if j := r.jobs[ref]; j != nil {
-			out[i] = j.RWeight(now)
+			dst[i] = j.RWeight(now)
 		} else {
-			out[i] = 1
+			dst[i] = 1
 		}
 	}
-	return out
+	return dst
 }
 
 // MeanBatchFreqNorm returns the batch cores' mean frequency normalized to

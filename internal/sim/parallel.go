@@ -66,3 +66,39 @@ func RunMany(jobs []Job) (map[string]*Result, error) {
 	}
 	return out, nil
 }
+
+// RunManyOrdered executes the jobs concurrently (bounded by GOMAXPROCS) and
+// returns results in job order, so callers that depend on positional
+// identity — cluster racks, sweep rows — get deterministic output
+// regardless of scheduling. Each simulation is fully independent and every
+// run is seeded, so the results are bit-identical to running the same jobs
+// serially. The first error (by job order) aborts the sweep.
+func RunManyOrdered(jobs []Job) ([]*Result, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	out := make([]*Result, len(jobs))
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j Job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = Run(j.Scenario, j.Policy)
+		}(i, j)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			name := jobs[i].Key
+			if name == "" {
+				name = fmt.Sprintf("#%d", i)
+			}
+			return nil, fmt.Errorf("sim: job %s: %w", name, err)
+		}
+	}
+	return out, nil
+}

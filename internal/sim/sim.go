@@ -204,6 +204,21 @@ type Series struct {
 	Demand    []float64 // interactive demand fraction offered by the trace
 }
 
+// grow preallocates every channel for n ticks so the per-tick appends in
+// recordTick never reallocate mid-run.
+func (s *Series) grow(n int) {
+	s.Time = make([]float64, 0, n)
+	s.TotalW = make([]float64, 0, n)
+	s.CBW = make([]float64, 0, n)
+	s.UPSW = make([]float64, 0, n)
+	s.PCbW = make([]float64, 0, n)
+	s.PBatchW = make([]float64, 0, n)
+	s.FreqInter = make([]float64, 0, n)
+	s.FreqBatch = make([]float64, 0, n)
+	s.SoC = make([]float64, 0, n)
+	s.Demand = make([]float64, 0, n)
+}
+
 // Result aggregates one run.
 type Result struct {
 	Policy   string
@@ -389,6 +404,7 @@ func RunWith(scn Scenario, p Policy, opts RunOptions) (*Result, error) {
 	}
 
 	steps := int(math.Round(scn.DurationS / scn.DtS))
+	res.Series.grow(steps)
 	dt := scn.DtS
 	initialMeasured := env.Rack.MeasuredPower()
 	if inj != nil {
