@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-check gobench report experiments clean
+.PHONY: all build vet test race chaos soak fuzz bench bench-check gobench report experiments clean
 
 all: build vet test
 
@@ -21,6 +21,19 @@ race:
 
 chaos:
 	$(GO) test -run TestChaos -v ./internal/core/
+
+# Soak: randomized fault storms that always include a controller crash,
+# alternating restore-from-checkpoint and fail-safe restarts. Every run must
+# stay trip-, outage- and SoC-breach-free. SOAK_RUNS scales it.
+soak:
+	SOAK_RUNS=40 $(GO) test -run TestSoak -v ./internal/core/
+
+# Fuzz smoke: the checkpoint decoder and the scenario loader, a few seconds
+# each (CI runs the same budget; leave the fuzzers running longer locally
+# with go test -fuzz=... -fuzztime=10m).
+fuzz:
+	$(GO) test -fuzz='^FuzzDecode$$' -fuzztime=10s -run='^$$' ./internal/checkpoint/
+	$(GO) test -fuzz='^FuzzScenarioJSON$$' -fuzztime=10s -run='^$$' ./internal/sim/
 
 # Full pinned-scenario benchmark: writes BENCH_<date>.json and compares
 # against the committed baseline (skipped when the baseline's -quick flag

@@ -27,6 +27,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -331,6 +332,45 @@ func racksEqual(p, q *cluster.Result) float64 {
 	return 1
 }
 
+// loadBaseline reads a baseline report strictly: unknown fields are
+// rejected and every parse error names the offending location, so a typo in
+// a hand-edited baseline (a misspelled metric section, a stray comma) fails
+// the gate loudly instead of silently comparing against zero values. The
+// not-exists error passes through untouched for the caller's skip path.
+func loadBaseline(path string) (Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Report{}, err
+	}
+	defer f.Close()
+
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var base Report
+	if err := dec.Decode(&base); err != nil {
+		var syn *json.SyntaxError
+		var typ *json.UnmarshalTypeError
+		switch {
+		case errors.As(err, &syn):
+			return Report{}, fmt.Errorf("baseline %s: byte %d: %v", path, syn.Offset, err)
+		case errors.As(err, &typ):
+			return Report{}, fmt.Errorf("baseline %s: field %q (byte %d): %v", path, typ.Field, typ.Offset, err)
+		default:
+			// DisallowUnknownFields errors already carry the field name.
+			return Report{}, fmt.Errorf("baseline %s: %v", path, err)
+		}
+	}
+	// One document per file: trailing content means a concatenated or
+	// corrupt baseline.
+	if dec.More() {
+		return Report{}, fmt.Errorf("baseline %s: trailing data after the report document", path)
+	}
+	if base.Schema != schemaVersion {
+		return Report{}, fmt.Errorf("baseline %s: schema %q, this binary writes %q", path, base.Schema, schemaVersion)
+	}
+	return base, nil
+}
+
 // compare checks the report against the baseline and returns 1 on
 // regression. Rules by metric name:
 //
@@ -340,14 +380,13 @@ func racksEqual(p, q *cluster.Result) float64 {
 //	speedup_*, sweep_reduction (higher better) — may not drop below × 0.8
 //	*_ns (wall clock)     — only with -wall: may not exceed × 1.2
 func compare(rep Report, path string, wall bool) int {
-	blob, err := os.ReadFile(path)
+	base, err := loadBaseline(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bench: no baseline at %s (%v); skipping comparison\n", path, err)
-		return 0
-	}
-	var base Report
-	if err := json.Unmarshal(blob, &base); err != nil {
-		fmt.Fprintf(os.Stderr, "bench: unreadable baseline %s: %v\n", path, err)
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "bench: no baseline at %s; skipping comparison\n", path)
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		return 1
 	}
 	if base.Quick != rep.Quick {

@@ -19,6 +19,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +28,7 @@ import (
 	"os/signal"
 
 	"sprintcon/internal/baseline"
+	"sprintcon/internal/checkpoint"
 	"sprintcon/internal/core"
 	"sprintcon/internal/faults"
 	"sprintcon/internal/seriesio"
@@ -71,6 +74,11 @@ func main() {
 		scenPath   = flag.String("scenario", "", "load the scenario from this JSON file (see -dump-scenario)")
 		dumpScen   = flag.Bool("dump-scenario", false, "print the default scenario as JSON and exit")
 		unhardened = flag.Bool("unhardened", false, "disable SprintCon's fault defenses (paper-faithful controller)")
+
+		ckptPath  = flag.String("checkpoint", "", "persist control-state checkpoints to this file (atomic temp+rename)")
+		ckptEvery = flag.Float64("checkpoint-every", 0, "checkpoint cadence in simulated seconds (0 = every tick)")
+		restore   = flag.Bool("restore", false, "resume the run from the snapshot in -checkpoint instead of starting fresh")
+		replay    = flag.String("replay", "", "re-drive the run from the -checkpoint snapshot and diff its decisions against this recorded -trace-jsonl file")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /status JSON and /debug/pprof on this address (e.g. :9090)")
 		traceJSONL  = flag.String("trace-jsonl", "", "write one JSON decision record per control period to this file")
@@ -131,8 +139,48 @@ func main() {
 	// Telemetry wiring: everything below is opt-in and nil when unused, so
 	// a plain run carries no instrumentation cost.
 	var opts sim.RunOptions
-	if *metricsAddr != "" || *traceJSONL != "" {
+	if *metricsAddr != "" || *traceJSONL != "" || *replay != "" {
 		opts.Metrics = telemetry.NewRegistry()
+	}
+
+	// Crash safety: -checkpoint persists snapshots, -restore resumes from
+	// the latest one (and keeps checkpointing over it, the crash-recovery
+	// loop), -replay resumes and diffs the continuation's decisions
+	// against a recorded trace instead of trusting it blindly.
+	if *replay != "" && *traceJSONL != "" {
+		log.Fatal("-replay records its own decision trace; drop -trace-jsonl")
+	}
+	if (*restore || *replay != "") && *ckptPath == "" {
+		log.Fatal("-restore and -replay resume from a snapshot: give its file with -checkpoint")
+	}
+	if *restore || *replay != "" {
+		sp, err := checkpoint.ReadFile(*ckptPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Resume = sp
+		fmt.Printf("resuming from %s (t=%.0f s, step %d)\n", *ckptPath, sp.SimTimeS, sp.Step)
+	}
+	if *ckptPath != "" && *replay == "" {
+		opts.Checkpoint = &sim.CheckpointOptions{
+			Store:  checkpoint.NewFileStore(*ckptPath),
+			EveryS: *ckptEvery,
+		}
+	}
+	var replayBuf *bytes.Buffer
+	var recorded []telemetry.Decision
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recorded, err = telemetry.ReadDecisions(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		replayBuf = &bytes.Buffer{}
+		opts.Decisions = telemetry.NewDecisionSink(replayBuf)
 	}
 	var traceFile *os.File
 	if *traceJSONL != "" {
@@ -186,6 +234,12 @@ func main() {
 		fmt.Printf("decision trace (%d records) written to %s\n", opts.Decisions.Count(), *traceJSONL)
 	}
 
+	if replayBuf != nil {
+		if err := diffReplay(recorded, replayBuf); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	printSummary(res)
 	if *events {
 		for _, e := range res.Events {
@@ -231,6 +285,53 @@ func main() {
 			log.Print(err)
 		}
 	}
+}
+
+// diffReplay compares the decisions a resumed run produced against the
+// tail of the recorded trace. Records are aligned by the first replayed
+// decision's timestamp: the decision pending at the snapshot boundary is
+// emitted one control period later in the original run but is not part of
+// the restored state, so up to one recorded boundary record has no replay
+// counterpart and is skipped (and reported). From there, every record must
+// match byte for byte as canonical JSON.
+func diffReplay(recorded []telemetry.Decision, buf *bytes.Buffer) error {
+	replayed, err := telemetry.ReadDecisions(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return fmt.Errorf("replay trace: %w", err)
+	}
+	if len(replayed) == 0 {
+		return fmt.Errorf("replay produced no decisions; the snapshot may be from the end of the run")
+	}
+	start := replayed[0].T
+	var tail []telemetry.Decision
+	for _, d := range recorded {
+		if d.T >= start-1e-9 {
+			tail = append(tail, d)
+		}
+	}
+	n := len(tail)
+	if len(replayed) < n {
+		n = len(replayed)
+	}
+	for i := 0; i < n; i++ {
+		a, err := json.Marshal(tail[i])
+		if err != nil {
+			return err
+		}
+		b, err := json.Marshal(replayed[i])
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(a, b) {
+			return fmt.Errorf("replay diverged at decision %d (t=%.0f s):\n recorded: %s\n replayed: %s", i, tail[i].T, a, b)
+		}
+	}
+	if len(tail) != len(replayed) {
+		return fmt.Errorf("replay produced %d decisions, recorded trace has %d from t=%.0f s", len(replayed), len(tail), start)
+	}
+	fmt.Printf("replay: %d decisions from t=%.0f s match the recorded trace (%d earlier records outside the replayed window)\n",
+		len(replayed), start, len(recorded)-len(tail))
+	return nil
 }
 
 func kindList() string {

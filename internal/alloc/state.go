@@ -1,0 +1,99 @@
+package alloc
+
+import (
+	"fmt"
+	"math"
+)
+
+// State is the serializable snapshot of an allocator mid-sprint. BurstStartS
+// stays an absolute simulation time on purpose: the overload/recovery square
+// wave is anchored to it, and rebasing it at restore would re-enter an
+// overload phase whose thermal budget the breaker already spent.
+type State struct {
+	BurstStartS float64
+	BurstDurS   float64
+	Started     bool
+
+	IdleW    float64
+	ReserveW float64
+	ShiftW   float64
+	BMinW    float64
+	BMaxW    float64 // +Inf until the first P_batch update
+
+	LastUpdateS float64
+	Samples     []float64
+	SamplesHigh int
+	Confidence  float64
+}
+
+// ExportState captures the allocator's mutable state.
+func (a *Allocator) ExportState() State {
+	return State{
+		BurstStartS: a.burstStart,
+		BurstDurS:   a.burstDur,
+		Started:     a.started,
+		IdleW:       a.idleW,
+		ReserveW:    a.reserveW,
+		ShiftW:      a.shiftW,
+		BMinW:       a.bMin,
+		BMaxW:       a.bMax,
+		LastUpdateS: a.lastUpdate,
+		Samples:     append([]float64(nil), a.samples...),
+		SamplesHigh: a.samplesHigh,
+		Confidence:  a.conf,
+	}
+}
+
+// RestoreState overwrites the allocator's mutable state from a snapshot.
+// BMaxW may legitimately be +Inf (pre-first-update); everything else must be
+// finite and within the ranges the allocator's own updates maintain.
+func (a *Allocator) RestoreState(st State) error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"BurstStartS", st.BurstStartS},
+		{"BurstDurS", st.BurstDurS},
+		{"IdleW", st.IdleW},
+		{"ReserveW", st.ReserveW},
+		{"ShiftW", st.ShiftW},
+		{"BMinW", st.BMinW},
+		{"LastUpdateS", st.LastUpdateS},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("alloc: snapshot %s is %g; must be finite", f.name, f.v)
+		}
+	}
+	switch {
+	case math.IsNaN(st.BMaxW) || math.IsInf(st.BMaxW, -1):
+		return fmt.Errorf("alloc: snapshot BMaxW is %g", st.BMaxW)
+	case st.BMaxW < st.BMinW:
+		return fmt.Errorf("alloc: snapshot batch bounds inverted (%g > %g)", st.BMinW, st.BMaxW)
+	case st.ReserveW < 0:
+		return fmt.Errorf("alloc: snapshot reserve %g W is negative", st.ReserveW)
+	case math.IsNaN(st.Confidence) || st.Confidence < 0 || st.Confidence > 1:
+		return fmt.Errorf("alloc: snapshot confidence %g outside [0, 1]", st.Confidence)
+	case len(st.Samples) > maxSamples:
+		return fmt.Errorf("alloc: snapshot holds %d headroom samples (window is %d)", len(st.Samples), maxSamples)
+	case st.SamplesHigh < 0 || st.SamplesHigh > maxSamples:
+		return fmt.Errorf("alloc: snapshot saturated-sample count %d outside [0, %d]", st.SamplesHigh, maxSamples)
+	}
+	for _, v := range st.Samples {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("alloc: snapshot headroom sample is %g; must be finite", v)
+		}
+	}
+	a.burstStart = st.BurstStartS
+	a.burstDur = st.BurstDurS
+	a.started = st.Started
+	a.idleW = st.IdleW
+	a.reserveW = st.ReserveW
+	a.shiftW = st.ShiftW
+	a.bMin = st.BMinW
+	a.bMax = st.BMaxW
+	a.lastUpdate = st.LastUpdateS
+	a.samples = append(a.samples[:0], st.Samples...)
+	a.samplesHigh = st.SamplesHigh
+	a.conf = st.Confidence
+	return nil
+}

@@ -1,0 +1,38 @@
+package breaker
+
+import (
+	"fmt"
+	"math"
+)
+
+// State is the serializable snapshot of a breaker's mutable state. The
+// thermal accumulator is stored as a fraction of the trip budget so that a
+// snapshot restores correctly even if the budget calibration is recomputed
+// from the same configuration.
+type State struct {
+	ThermalFrac float64 // θ/Θ_trip in [0, 1]
+	Tripped     bool
+	Trips       int // lifetime trip count
+}
+
+// ExportState captures the breaker's mutable state.
+func (b *Breaker) ExportState() State {
+	return State{ThermalFrac: b.theta / b.budget, Tripped: b.tripped, Trips: b.trips}
+}
+
+// RestoreState overwrites the breaker's mutable state from a snapshot. It
+// rejects non-finite or out-of-range values so a corrupt snapshot can never
+// install an impossible thermal state (e.g. a negative accumulator that
+// would grant extra overload budget).
+func (b *Breaker) RestoreState(st State) error {
+	if math.IsNaN(st.ThermalFrac) || st.ThermalFrac < 0 || st.ThermalFrac > 1 {
+		return fmt.Errorf("breaker: snapshot thermal fraction %g outside [0, 1]", st.ThermalFrac)
+	}
+	if st.Trips < 0 {
+		return fmt.Errorf("breaker: snapshot trip count %d is negative", st.Trips)
+	}
+	b.theta = st.ThermalFrac * b.budget
+	b.tripped = st.Tripped
+	b.trips = st.Trips
+	return nil
+}

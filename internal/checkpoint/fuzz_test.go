@@ -1,0 +1,85 @@
+package checkpoint
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode holds Decode to its contract: whatever the bytes — torn
+// writes, bit rot, hostile gob streams — it returns an error rather than
+// panicking, and anything it does accept passes validation and re-encodes
+// to an equivalent snapshot (so a restore can never act on out-of-range
+// state). The corpus seeds the interesting shapes: a full valid frame, a
+// controller-less frame, and corrupted variants of both.
+func FuzzDecode(f *testing.F) {
+	full, err := Encode(sampleSnapshot())
+	if err != nil {
+		f.Fatal(err)
+	}
+	plantOnly := sampleSnapshot()
+	plantOnly.HasController = false
+	plantOnly.Controller = ControllerState{}
+	po, err := Encode(plantOnly)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full)
+	f.Add(po)
+	f.Add([]byte("SPCK"))
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	f.Add(corrupt)
+	f.Add(full[:headerLen])
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := Decode(b)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("Decode accepted a snapshot Validate rejects: %v", verr)
+		}
+		b2, err := Encode(s)
+		if err != nil {
+			t.Fatalf("accepted snapshot does not re-encode: %v", err)
+		}
+		s2, err := Decode(b2)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(stripNaN(s), stripNaN(s2)) {
+			t.Fatalf("decode/encode/decode diverged:\n%+v\n%+v", s, s2)
+		}
+	})
+}
+
+// stripNaN zeroes every NaN float in a copy of the snapshot:
+// reflect.DeepEqual treats NaN != NaN, so a fuzz input carrying NaN in a
+// slot where it is legal would fail the round-trip comparison spuriously
+// even though gob preserves it bit-exactly. The cleaning writes through any
+// shared slices, which is fine here: both snapshots are test-local decodes
+// that get the same treatment before the comparison.
+func stripNaN(s *Snapshot) Snapshot {
+	c := *s
+	cleanStructFloats(reflect.ValueOf(&c).Elem())
+	return c
+}
+
+// cleanStructFloats recursively zeroes every NaN float64 reachable from v.
+func cleanStructFloats(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Float64:
+		if v.Float() != v.Float() && v.CanSet() {
+			v.SetFloat(0)
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			cleanStructFloats(v.Field(i))
+		}
+	case reflect.Slice:
+		for i := 0; i < v.Len(); i++ {
+			cleanStructFloats(v.Index(i))
+		}
+	}
+}

@@ -59,6 +59,13 @@ func randomStorm(rng *rand.Rand, numServers int) faults.Plan {
 			f.Server = rng.Intn(numServers)
 		case faults.UPSGaugeBias:
 			f.Severity = -0.8 + 1.6*rng.Float64()
+		case faults.ControllerCrash:
+			// Restart delay 0-3 s. A dead controller holds the last
+			// commanded frequencies, which mid-overload burn trip budget
+			// at ~0.56 o-sec/s with no supervisor watching; a few seconds
+			// is survivable on any schedule, tens of seconds is not a
+			// fault any controller could be safe under.
+			f.Severity = 3 * rng.Float64()
 		}
 		plan.Faults = append(plan.Faults, f)
 	}

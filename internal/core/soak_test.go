@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"sprintcon/internal/checkpoint"
+	"sprintcon/internal/faults"
+	"sprintcon/internal/sim"
+)
+
+// Soak testing (make soak): randomized fault storms that always include a
+// controller crash at a random onset with a random restart delay, run
+// alternately with and without a checkpoint store — so both the
+// restore-from-checkpoint and the fail-safe restart paths soak. Every run
+// must finish with zero breaker trips, zero outage seconds and zero
+// SoC-floor invariant breaches.
+//
+// SOAK_RUNS scales the sweep (default 6, 2 under -short); `make soak` runs
+// 40, CI runs a short batch alongside the chaos job.
+
+func soakRuns() int {
+	if s := os.Getenv("SOAK_RUNS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	if testing.Short() {
+		return 2
+	}
+	return 6
+}
+
+func TestSoakCrashStormsStaySafe(t *testing.T) {
+	n := soakRuns()
+	for i := 0; i < n; i++ {
+		i := i
+		t.Run(fmt.Sprintf("run-%03d", i), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(40_000 + 7919*i)))
+			scn := sim.DefaultScenario()
+			scn.Interactive.Seed = rng.Int63()
+			plan := randomStorm(rng, scn.Rack.NumServers)
+			plan.Faults = append(plan.Faults, faults.Fault{
+				Kind:      faults.ControllerCrash,
+				OnsetS:    float64(rng.Intn(800)),
+				DurationS: 10,
+				Severity:  3 * rng.Float64(),
+			})
+			scn.Faults = plan
+			if err := scn.Validate(); err != nil {
+				t.Fatalf("generated invalid scenario: %v", err)
+			}
+
+			var opts sim.RunOptions
+			if i%2 == 0 {
+				opts.Checkpoint = &sim.CheckpointOptions{Store: checkpoint.NewMemStore()}
+			}
+			p := New(DefaultConfig())
+			res, err := sim.RunWith(scn, p, opts)
+			if err != nil {
+				t.Fatalf("run failed under %v: %v", scn.Faults.Faults, err)
+			}
+			if res.CBTrips != 0 || res.OutageS != 0 {
+				t.Errorf("trips=%d outage=%.0fs (checkpointed=%v) under %v",
+					res.CBTrips, res.OutageS, opts.Checkpoint != nil, scn.Faults.Faults)
+			}
+			if v := p.InvariantViolations(); v.CBMargin != 0 || v.SoCFloor != 0 {
+				t.Errorf("invariant breaches %+v (checkpointed=%v) under %v",
+					v, opts.Checkpoint != nil, scn.Faults.Faults)
+			}
+		})
+	}
+}

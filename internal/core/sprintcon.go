@@ -158,6 +158,14 @@ type SprintCon struct {
 	curPBatch    float64
 	everNearTrip bool
 	everDepleted bool
+	// failSafeUntil caps the CB budget at the rating until the given
+	// simulation time. It is set when the controller restarts without a
+	// trustworthy checkpoint: the breaker's thermal history is unknown,
+	// so no overload may be scheduled until one full recovery time has
+	// re-established it (DESIGN.md §11).
+	failSafeUntil float64
+	// inv is the runtime safety-invariant supervisor state (invariants.go).
+	inv invariantState
 
 	// hd is the fault-defense state (nil when hardening is disabled).
 	hd *hardenState
@@ -229,6 +237,28 @@ func (s *SprintCon) Mode() Mode { return s.mode }
 
 // Start implements sim.Policy.
 func (s *SprintCon) Start(env *sim.Env, scn sim.Scenario) error {
+	if err := s.initCommon(env, scn); err != nil {
+		return err
+	}
+
+	// Announce the burst: the initial interactive reserve is the
+	// Eq. (5) estimate at the trace's first sample.
+	s.allocator.StartBurst(0, scn.BurstDurationS, s.idleEstW, s.interactiveEstimate(env, 0))
+	s.curPCb = s.allocator.PCb(0)
+	s.curPBatch = clamp(s.allocator.PBatchAt(0), s.pBatchMin, s.pBatchMax)
+
+	// Sprinting begins: interactive cores to peak frequency.
+	env.Rack.SetInteractiveFreq(s.fmax)
+	return nil
+}
+
+// initCommon builds every controller component for the given environment —
+// model coefficients, allocator, MPC/PI, UPS controller, hardening state —
+// without announcing a burst or actuating anything. It is shared by Start
+// (which then announces t=0 and actuates) and RestoreCheckpoint (which then
+// overlays the snapshot and must not actuate: the plant kept running while
+// the controller was down).
+func (s *SprintCon) initCommon(env *sim.Env, scn sim.Scenario) error {
 	if env == nil {
 		return errors.New("core: nil environment")
 	}
@@ -236,6 +266,8 @@ func (s *SprintCon) Start(env *sim.Env, scn sim.Scenario) error {
 	s.mode = ModeNormal
 	s.lastCtl = math.Inf(-1)
 	s.everNearTrip, s.everDepleted = false, false
+	s.failSafeUntil = math.Inf(-1)
+	s.inv = invariantState{}
 	s.tm = newCoreMetrics(env.Metrics)
 	s.pending = nil
 
@@ -283,22 +315,15 @@ func (s *SprintCon) Start(env *sim.Env, scn sim.Scenario) error {
 		return fmt.Errorf("core: UPS controller: %w", err)
 	}
 	s.upsctl = uc
-	if err := s.startHardening(env); err != nil {
-		return err
-	}
+	return s.startHardening(env)
+}
 
-	// Announce the burst: the initial interactive reserve is the
-	// Eq. (5) estimate at the trace's first sample.
-	interCo := params.InteractiveCoeffs()
+// interactiveEstimate is the Eq. (5) interactive power estimate at peak
+// frequency from the trace demand at time t.
+func (s *SprintCon) interactiveEstimate(env *sim.Env, t float64) float64 {
+	interCo := s.scn.Rack.ServerParams.InteractiveCoeffs()
 	nInter := float64(len(env.Rack.InteractiveCores()))
-	pInter0 := nInter * (interCo.KWPerGHz*env.Trace.At(0) + interCo.CIdleShareW)
-	s.allocator.StartBurst(0, scn.BurstDurationS, s.idleEstW, pInter0)
-	s.curPCb = s.allocator.PCb(0)
-	s.curPBatch = clamp(s.allocator.PBatchAt(0), s.pBatchMin, s.pBatchMax)
-
-	// Sprinting begins: interactive cores to peak frequency.
-	env.Rack.SetInteractiveFreq(s.fmax)
-	return nil
+	return nInter * (interCo.KWPerGHz*env.Trace.At(t) + interCo.CIdleShareW)
 }
 
 // rebuildControllers (re)creates the MPC and PI controllers for the
@@ -364,6 +389,7 @@ func (s *SprintCon) Tick(env *sim.Env, snap sim.Snapshot) float64 {
 	}
 	pcb := s.effectivePCb(now)
 	s.curPCb = pcb
+	s.checkTickInvariants(env, snap)
 
 	s.allocator.ObserveHeadroom(pInterEst, now)
 
@@ -454,7 +480,27 @@ func (s *SprintCon) effectivePCb(now float64) float64 {
 		// until confidence recovers.
 		pcb = math.Min(pcb, s.scn.Breaker.RatedPower)
 	}
+	if now < s.failSafeUntil {
+		// Post-restart fail-safe: the breaker's true thermal state is
+		// unknown, so hold the rated budget until a full recovery time
+		// has passed and the worst-case accumulator has drained.
+		pcb = math.Min(pcb, s.scn.Breaker.RatedPower)
+	}
 	return pcb
+}
+
+// enterFailSafe suspends breaker overloads for one full breaker recovery
+// time from now: whatever thermal margin the breaker had really consumed
+// before the crash, holding the rated budget that long drains it.
+func (s *SprintCon) enterFailSafe(env *sim.Env, now float64, reason string) {
+	until := now + s.scn.Breaker.RecoveryTime
+	if until > s.failSafeUntil {
+		s.failSafeUntil = until
+	}
+	if env != nil && env.Events != nil {
+		env.Events.Logf("failsafe", "controller restart without trustworthy checkpoint (%s): CB budget capped at rated %.0f W until t=%.0f s",
+			reason, s.scn.Breaker.RatedPower, s.failSafeUntil)
+	}
 }
 
 // serverPowerControl runs one allocator + controller period.
@@ -575,6 +621,7 @@ func (s *SprintCon) serverPowerControl(env *sim.Env, snap sim.Snapshot, pcb, pIn
 		}
 		s.pending = in
 	}
+	s.checkControlInvariants(env, next, urgency)
 	// The controllers reuse their output buffer across periods, so copy
 	// rather than alias; aliasing would also zero the RLS move delta.
 	copy(s.cmdFreqs, next)

@@ -29,6 +29,8 @@ type coreMetrics struct {
 	modeNum    *telemetry.Gauge
 	// UPS power controller.
 	upsReqW *telemetry.Gauge
+	// Safety-invariant supervisor.
+	invBreaches *telemetry.Gauge
 }
 
 // qpSweepBuckets cover the solver's effort range: 0 means the Cholesky
@@ -66,6 +68,8 @@ func newCoreMetrics(r *telemetry.Registry) coreMetrics {
 		modeNum: r.Gauge("supervisor_mode",
 			"supervisor mode (0 normal, 1 no-overload, 2 cb-only, 3 ended)"),
 		upsReqW: r.Gauge("ups_request_w", "UPS discharge request for the coming tick"),
+		invBreaches: r.Gauge("invariant_breaches",
+			"cumulative safety-invariant breaches (CB margin + SoC floor + frequency bounds)"),
 	}
 }
 

@@ -19,6 +19,10 @@
 //	ServerCrash      — a server goes dark: no power, no work, no telemetry
 //	UPSPathFailure   — the battery discharge path delivers nothing
 //	UPSGaugeBias     — the SoC gauge reads Severity too high (or low)
+//	ControllerCrash  — the controller process dies; frequencies hold, UPS
+//	                   requests stop, and the engine restarts the controller
+//	                   Severity seconds later from the latest checkpoint
+//	                   (or into the fail-safe state without one)
 //
 // All injection is pure state-machine logic driven by the schedule: two runs
 // with identical scenarios and identical plans are bit-identical.
@@ -46,6 +50,7 @@ const (
 	ServerCrash      Kind = "server-crash"
 	UPSPathFailure   Kind = "ups-path-failure"
 	UPSGaugeBias     Kind = "ups-gauge-bias"
+	ControllerCrash  Kind = "controller-crash"
 )
 
 // Kinds returns every supported fault kind, in taxonomy order.
@@ -53,7 +58,7 @@ func Kinds() []Kind {
 	return []Kind{
 		MonitorDropout, MonitorFreeze, MonitorBias, MeasurementDelay,
 		ActuatorStuck, ActuatorLag, ServerCrash, UPSPathFailure,
-		UPSGaugeBias,
+		UPSGaugeBias, ControllerCrash,
 	}
 }
 
@@ -139,6 +144,10 @@ func (f Fault) Validate() error {
 	case UPSGaugeBias:
 		if f.Severity < -1 || f.Severity > 1 {
 			return fmt.Errorf("faults: ups-gauge-bias severity %g must be in [-1, 1]", f.Severity)
+		}
+	case ControllerCrash:
+		if f.Severity < 0 {
+			return fmt.Errorf("faults: controller-crash severity %g must be a non-negative restart delay in seconds", f.Severity)
 		}
 	}
 	if f.Kind.perServer() {

@@ -1,0 +1,67 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+)
+
+// InjectorState is the serializable snapshot of an Injector mid-run: which
+// faults are active plus the monitor-corruption machinery (freeze hold and
+// measurement-delay ring buffer). A resumed run restoring this state
+// delivers the exact corrupted reading stream the uninterrupted run would
+// have seen.
+type InjectorState struct {
+	Active     []bool
+	LastRaw    float64
+	Frozen     float64
+	HaveFrozen bool
+	DelayBuf   []float64
+	DelayN     int
+	DelayHead  int
+}
+
+// ExportState captures the injector's mutable state.
+func (in *Injector) ExportState() InjectorState {
+	return InjectorState{
+		Active:     append([]bool(nil), in.active...),
+		LastRaw:    in.lastRaw,
+		Frozen:     in.frozen,
+		HaveFrozen: in.haveFrozen,
+		DelayBuf:   append([]float64(nil), in.delayBuf...),
+		DelayN:     in.delayN,
+		DelayHead:  in.delayHead,
+	}
+}
+
+// RestoreState overwrites the injector's mutable state from a snapshot. The
+// active mask must match the live plan's fault count; the delay ring buffer
+// indices must address the restored buffer.
+func (in *Injector) RestoreState(st InjectorState) error {
+	if len(st.Active) != len(in.plan.Faults) {
+		return fmt.Errorf("faults: snapshot active mask has %d entries, plan has %d faults",
+			len(st.Active), len(in.plan.Faults))
+	}
+	if math.IsNaN(st.LastRaw) || math.IsInf(st.LastRaw, 0) {
+		return fmt.Errorf("faults: snapshot last reading is %g; must be finite", st.LastRaw)
+	}
+	if n := len(st.DelayBuf); n > 0 {
+		if st.DelayN < 0 || st.DelayN > n || st.DelayHead < 0 || st.DelayHead >= n {
+			return fmt.Errorf("faults: snapshot delay buffer indices (n=%d head=%d) invalid for %d entries",
+				st.DelayN, st.DelayHead, n)
+		}
+	} else if st.DelayN != 0 || st.DelayHead != 0 {
+		return fmt.Errorf("faults: snapshot delay indices nonzero with empty buffer")
+	}
+	in.active = append(in.active[:0], st.Active...)
+	in.lastRaw = st.LastRaw
+	in.frozen = st.Frozen
+	in.haveFrozen = st.HaveFrozen
+	if len(st.DelayBuf) > 0 {
+		in.delayBuf = append(in.delayBuf[:0], st.DelayBuf...)
+	} else {
+		in.delayBuf = nil
+	}
+	in.delayN = st.DelayN
+	in.delayHead = st.DelayHead
+	return nil
+}

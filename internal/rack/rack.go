@@ -104,7 +104,12 @@ type Rack struct {
 	jobs    map[CoreRef]*workload.BatchJob
 	env     server.Environment
 	rng     *rand.Rand
-	faults  []FaultState
+	// normDraws counts NormFloat64 calls on rng since construction. A
+	// checkpoint records the count and a restore replays it against a
+	// fresh seeded source, putting the noise stream back in the exact
+	// position it had when the snapshot was taken.
+	normDraws int64
+	faults    []FaultState
 }
 
 // New assembles a rack with all interactive cores at peak frequency and all
@@ -220,6 +225,7 @@ func (r *Rack) ApplyInteractiveDemand(demand float64) {
 		u := demand
 		if r.cfg.UtilJitterStd > 0 {
 			u += r.rng.NormFloat64() * r.cfg.UtilJitterStd
+			r.normDraws++
 		}
 		if r.faults[ref.Server].Offline {
 			// A crashed server serves nothing; its share of the demand
@@ -347,6 +353,7 @@ func (r *Rack) MeasuredPower() float64 {
 	p := r.TruePower()
 	if r.cfg.MonitorNoiseStd > 0 {
 		p *= 1 + r.rng.NormFloat64()*r.cfg.MonitorNoiseStd
+		r.normDraws++
 	}
 	return p
 }

@@ -30,6 +30,7 @@ func (e Event) String() string {
 // themselves. The zero value is unusable; the engine provides one in Env.
 type EventLog struct {
 	now    float64
+	base   int // sequence offset for resumed runs
 	events []Event
 }
 
@@ -39,13 +40,22 @@ func NewEventLog() *EventLog { return &EventLog{} }
 // SetNow stamps the time attached to subsequent events (engine use).
 func (l *EventLog) SetNow(t float64) { l.now = t }
 
+// SetBase offsets subsequent sequence numbers (engine use, for runs resumed
+// from a checkpoint): the resumed log continues numbering where the original
+// run stopped, so merged logs keep a single total order.
+func (l *EventLog) SetBase(n int) { l.base = n }
+
+// Len returns the next sequence number to be assigned (base + events logged
+// so far) — what a checkpoint records so a resumed log continues numbering.
+func (l *EventLog) Len() int { return l.base + len(l.events) }
+
 // Logf appends an event at the current simulation time.
 func (l *EventLog) Logf(kind, format string, args ...interface{}) {
 	l.events = append(l.events, Event{
 		T:    l.now,
 		Kind: kind,
 		Msg:  fmt.Sprintf(format, args...),
-		Seq:  len(l.events),
+		Seq:  l.base + len(l.events),
 	})
 }
 

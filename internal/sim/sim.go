@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"sprintcon/internal/breaker"
+	"sprintcon/internal/checkpoint"
 	"sprintcon/internal/faults"
 	"sprintcon/internal/rack"
 	"sprintcon/internal/telemetry"
@@ -291,6 +292,15 @@ type RunOptions struct {
 	// Status, when non-nil, is refreshed every tick with the live run
 	// state, for the /status endpoint of a metrics server.
 	Status *telemetry.RunStatus
+	// Checkpoint, when non-nil, serializes the run's control state into
+	// its Store on the configured cadence, and controller restarts (the
+	// controller-crash fault) restore from the latest usable snapshot.
+	Checkpoint *CheckpointOptions
+	// Resume, when non-nil, restores the whole run — plant, engine
+	// accumulators, controller — from the snapshot and continues from its
+	// step instead of starting at t=0. The Result then covers only the
+	// resumed window.
+	Resume *checkpoint.Snapshot
 }
 
 // Run simulates the scenario under the policy with telemetry disabled.
@@ -363,13 +373,60 @@ func RunWith(scn Scenario, p Policy, opts RunOptions) (*Result, error) {
 	}
 	env.Metrics = opts.Metrics
 	env.Decisions = opts.Decisions
-	if err := p.Start(env, scn); err != nil {
-		return nil, fmt.Errorf("sim: policy %s start: %w", p.Name(), err)
-	}
 
 	res := &Result{Policy: p.Name(), Scenario: scn, MaxCompletionTimeS: math.NaN()}
 	res.InteractiveDemand = env.Trace.Summary()
 	res.Series.DtS = scn.DtS
+
+	// Fault injection: nil when the plan is empty, so fault-free runs
+	// follow the exact legacy code path (bit-identical results). Built
+	// before the policy binds so a resumed run restores it first.
+	var inj *faults.Injector
+	if !scn.Faults.Empty() {
+		inj = faults.NewInjector(scn.Faults, scn.DtS)
+	}
+
+	// Checkpoint/crash runtime: nil unless the run checkpoints or its
+	// fault plan kills the controller, keeping ordinary runs untouched.
+	ckr, err := newCkRuntime(p, scn, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	steps := int(math.Round(scn.DurationS / scn.DtS))
+	dt := scn.DtS
+	startStep := 0
+	outage := false
+	var controlledTicks, overTicks int
+	var trackErrSum float64
+	var snap Snapshot
+	if opts.Resume != nil {
+		rs, err := applyResume(env, scn, p, inj, opts.Resume, res)
+		if err != nil {
+			return nil, err
+		}
+		startStep = rs.startStep
+		outage = rs.outage
+		controlledTicks, overTicks, trackErrSum = rs.controlled, rs.over, rs.trackErrSum
+		snap = rs.snap
+	} else {
+		if err := p.Start(env, scn); err != nil {
+			return nil, fmt.Errorf("sim: policy %s start: %w", p.Name(), err)
+		}
+		initialMeasured := env.Rack.MeasuredPower()
+		if inj != nil {
+			// Primes the injector's last-reading state before any fault is
+			// active, so an onset-0 freeze holds a real pre-fault value.
+			initialMeasured = inj.FilterMeasurement(initialMeasured)
+		}
+		snap = Snapshot{
+			Dt:             dt,
+			MeasuredTotalW: initialMeasured,
+			CBPowerW:       env.Rack.TruePower(),
+			UPSSoC:         env.UPS.SoC(),
+		}
+	}
+	res.Series.grow(steps - startStep)
 
 	reporter, _ := p.(TargetReporter)
 
@@ -380,7 +437,7 @@ func RunWith(scn Scenario, p Policy, opts RunOptions) (*Result, error) {
 		if opts.Status == nil {
 			return
 		}
-		opts.Status.Set(telemetry.StatusSnapshot{
+		ss := telemetry.StatusSnapshot{
 			Policy:    p.Name(),
 			NowS:      now,
 			DurationS: scn.DurationS,
@@ -393,36 +450,20 @@ func RunWith(scn Scenario, p Policy, opts RunOptions) (*Result, error) {
 			CBTrips:   res.CBTrips,
 			OutageS:   res.OutageS,
 			Done:      done,
-		})
+		}
+		if ckr != nil {
+			ss.CheckpointSaves = ckr.saves
+			ss.CheckpointBytes = ckr.lastBytes
+			if ckr.haveSave {
+				ss.CheckpointAgeS = math.Max(0, now-ckr.lastSaveS)
+			}
+			ss.CtlRestarts = ckr.restarts
+			ss.CtlFailSafeRestarts = ckr.failsafes
+		}
+		opts.Status.Set(ss)
 	}
 
-	// Fault injection: nil when the plan is empty, so fault-free runs
-	// follow the exact legacy code path (bit-identical results).
-	var inj *faults.Injector
-	if !scn.Faults.Empty() {
-		inj = faults.NewInjector(scn.Faults, scn.DtS)
-	}
-
-	steps := int(math.Round(scn.DurationS / scn.DtS))
-	res.Series.grow(steps)
-	dt := scn.DtS
-	initialMeasured := env.Rack.MeasuredPower()
-	if inj != nil {
-		// Primes the injector's last-reading state before any fault is
-		// active, so an onset-0 freeze holds a real pre-fault value.
-		initialMeasured = inj.FilterMeasurement(initialMeasured)
-	}
-	snap := Snapshot{
-		Dt:             dt,
-		MeasuredTotalW: initialMeasured,
-		CBPowerW:       env.Rack.TruePower(),
-		UPSSoC:         env.UPS.SoC(),
-	}
-	outage := false
-	var controlledTicks, overTicks int
-	var trackErrSum float64
-
-	for step := 0; step < steps; step++ {
+	for step := startStep; step < steps; step++ {
 		now := float64(step) * dt
 		var tickStart time.Time
 		if em.enabled {
@@ -435,6 +476,11 @@ func RunWith(scn Scenario, p Policy, opts RunOptions) (*Result, error) {
 			onsets, clears := inj.Step(now)
 			for _, f := range onsets {
 				env.Events.Logf("fault-onset", "%s", f)
+				if f.Kind == faults.ControllerCrash {
+					// ckr is always non-nil when the plan contains a
+					// controller crash (newCkRuntime guarantees it).
+					ckr.noteCrash(env, now, f.Severity)
+				}
 			}
 			for _, f := range clears {
 				env.Events.Logf("fault-clear", "%s cleared", f.Kind)
@@ -467,6 +513,9 @@ func RunWith(scn Scenario, p Policy, opts RunOptions) (*Result, error) {
 			if inj != nil {
 				snap.UPSSoC, snap.UPSDepleted = inj.FilterSoC(snap.UPSSoC, snap.UPSDepleted)
 			}
+			if ckr != nil {
+				ckr.capture(env, inj, res, now+dt, step+1, snap, true, controlledTicks, overTicks, trackErrSum)
+			}
 			if em.enabled {
 				em.outageS.Add(dt)
 				em.observeTick(now, 0, 0, 0, env)
@@ -479,7 +528,19 @@ func RunWith(scn Scenario, p Policy, opts RunOptions) (*Result, error) {
 		// Workload arrives; policy senses and actuates.
 		env.Rack.ApplyInteractiveDemand(env.Trace.At(now))
 		snap.Now = now
-		upsReq := p.Tick(env, snap)
+		var upsReq float64
+		ctlDead := false
+		if ckr != nil {
+			if err := ckr.maybeRestart(env, now); err != nil {
+				return nil, err
+			}
+			ctlDead = ckr.ctlDead
+		}
+		if !ctlDead {
+			upsReq = p.Tick(env, snap)
+		}
+		// A dead controller issues nothing: the rack holds its last
+		// commanded frequencies and the UPS receives no request.
 		if upsReq < 0 || math.IsNaN(upsReq) {
 			upsReq = 0
 		}
@@ -532,8 +593,9 @@ func RunWith(scn Scenario, p Policy, opts RunOptions) (*Result, error) {
 		}
 		status(now, pTotal, cbW, upsW, false)
 
-		// CB budget tracking quality.
-		if reporter != nil {
+		// CB budget tracking quality (dead-controller ticks are not
+		// "controlled": nothing was tracking the budget).
+		if reporter != nil && !ctlDead {
 			pcb, _ := reporter.Targets(now)
 			if !math.IsInf(pcb, 1) && !math.IsNaN(pcb) && !outage {
 				controlledTicks++
@@ -547,6 +609,9 @@ func RunWith(scn Scenario, p Policy, opts RunOptions) (*Result, error) {
 		snap = nextSnapshot(now+dt, dt, measured, cbW, upsW, env, outage)
 		if inj != nil {
 			snap.UPSSoC, snap.UPSDepleted = inj.FilterSoC(snap.UPSSoC, snap.UPSDepleted)
+		}
+		if ckr != nil {
+			ckr.capture(env, inj, res, now+dt, step+1, snap, outage, controlledTicks, overTicks, trackErrSum)
 		}
 	}
 

@@ -18,6 +18,13 @@ type StatusSnapshot struct {
 	CBTrips   int     `json:"cb_trips"`
 	OutageS   float64 `json:"outage_s"`
 	Done      bool    `json:"done"`
+	// Checkpoint/restart state (zero unless the run checkpoints or
+	// injects controller crashes).
+	CheckpointSaves     int64   `json:"checkpoint_saves,omitempty"`
+	CheckpointBytes     int     `json:"checkpoint_bytes,omitempty"`
+	CheckpointAgeS      float64 `json:"checkpoint_age_s,omitempty"`
+	CtlRestarts         int     `json:"ctl_restarts,omitempty"`
+	CtlFailSafeRestarts int     `json:"ctl_failsafe_restarts,omitempty"`
 }
 
 // RunStatus is a concurrency-safe holder for the latest StatusSnapshot.

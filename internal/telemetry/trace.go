@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"sync"
@@ -199,4 +200,24 @@ func (s *DecisionSink) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.err
+}
+
+// ReadDecisions parses a JSONL decision trace (the -trace-jsonl output)
+// back into records — the -replay path re-drives a run from a checkpoint
+// and diffs its decisions against a recorded trace. Errors name the
+// offending record.
+func ReadDecisions(r io.Reader) ([]Decision, error) {
+	dec := json.NewDecoder(r)
+	var out []Decision
+	for {
+		var d Decision
+		err := dec.Decode(&d)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: decision trace record %d: %w", len(out)+1, err)
+		}
+		out = append(out, d)
+	}
 }

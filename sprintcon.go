@@ -34,6 +34,7 @@ import (
 	"io"
 
 	"sprintcon/internal/baseline"
+	"sprintcon/internal/checkpoint"
 	"sprintcon/internal/core"
 	"sprintcon/internal/daily"
 	"sprintcon/internal/experiments"
@@ -83,8 +84,18 @@ type (
 	// FaultKind names an injectable fault type.
 	FaultKind = faults.Kind
 	// RunOptions attaches opt-in observability (metrics registry, decision
-	// trace, live status) to a run via RunWith.
+	// trace, live status) and crash safety (checkpointing, resume) to a
+	// run via RunWith.
 	RunOptions = sim.RunOptions
+	// CheckpointOptions enables crash-safe control-state snapshots every
+	// control period (RunOptions.Checkpoint); see DESIGN.md §11.
+	CheckpointOptions = sim.CheckpointOptions
+	// CheckpointSnapshot is one complete capture of a run's mutable state
+	// (controller + plant), restorable via RunOptions.Resume.
+	CheckpointSnapshot = checkpoint.Snapshot
+	// CheckpointStore persists snapshots and serves the latest one back at
+	// controller restarts.
+	CheckpointStore = checkpoint.Store
 	// MetricsRegistry collects counters, gauges and histograms from every
 	// layer of a run; render it with WritePrometheus or Snapshot.
 	MetricsRegistry = telemetry.Registry
@@ -135,6 +146,15 @@ func Run(scn Scenario, p Policy) (*Result, error) { return sim.Run(scn, p) }
 func RunWith(scn Scenario, p Policy, opts RunOptions) (*Result, error) {
 	return sim.RunWith(scn, p, opts)
 }
+
+// NewCheckpointFileStore returns a checkpoint store that atomically
+// persists the latest snapshot to path (temp file + rename, so a crash
+// mid-write leaves the previous intact checkpoint).
+func NewCheckpointFileStore(path string) CheckpointStore { return checkpoint.NewFileStore(path) }
+
+// ReadCheckpoint loads a snapshot from a checkpoint file, for
+// RunOptions.Resume.
+func ReadCheckpoint(path string) (*CheckpointSnapshot, error) { return checkpoint.ReadFile(path) }
 
 // NewMetricsRegistry returns an empty metrics registry for RunOptions.
 func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
