@@ -20,13 +20,14 @@ race:
 	$(GO) test -race ./...
 
 chaos:
-	$(GO) test -run TestChaos -v ./internal/core/
+	$(GO) test -run TestChaos -v ./internal/core/ ./internal/cluster/
 
-# Soak: randomized fault storms that always include a controller crash,
-# alternating restore-from-checkpoint and fail-safe restarts. Every run must
-# stay trip-, outage- and SoC-breach-free. SOAK_RUNS scales it.
+# Soak: randomized fault storms — rack-local storms with controller crashes
+# (core), and network storms over the control link (cluster), alternating
+# restore-from-checkpoint and fail-safe restarts. Every run must stay trip-,
+# outage- and SoC-breach-free. SOAK_RUNS scales it.
 soak:
-	SOAK_RUNS=40 $(GO) test -run TestSoak -v ./internal/core/
+	SOAK_RUNS=40 $(GO) test -run TestSoak -v ./internal/core/ ./internal/cluster/
 
 # Fuzz smoke: the checkpoint decoder and the scenario loader, a few seconds
 # each (CI runs the same budget; leave the fuzzers running longer locally

@@ -17,6 +17,11 @@
 //	                  parallel path vs the current serial path vs the
 //	                  legacy (cold-QP serial) path, plus a bit-identical
 //	                  check between parallel and serial results
+//	cluster_link    — fault-free linked run (RunLinked) vs the static
+//	                  phase-offset run: the control link's stepping
+//	                  overhead, a parallel-vs-serial bit-identical check,
+//	                  and the degraded-mode seconds (must stay zero with
+//	                  no faults on the wire)
 //
 // Metric comparison rules against the baseline: deterministic metrics
 // (allocs_per_tick, bit_identical, *_sweeps*) are held to tight bounds;
@@ -86,6 +91,8 @@ func main() {
 	rep.Scenarios = append(rep.Scenarios, mpcSweeps(*quick))
 	fmt.Println("bench: cluster_sweep")
 	rep.Scenarios = append(rep.Scenarios, clusterSweep(*quick))
+	fmt.Println("bench: cluster_link")
+	rep.Scenarios = append(rep.Scenarios, clusterLink(*quick))
 
 	for _, s := range rep.Scenarios {
 		fmt.Printf("%s:\n", s.Name)
@@ -311,6 +318,55 @@ func clusterSweep(quick bool) Scenario {
 	}}
 }
 
+// clusterLink measures what the control link costs when the network is
+// clean: the same cluster stepped through RunLinked (transport, leases,
+// heartbeats and coordinator in the loop every tick) vs the static
+// phase-offset Run. With no faults on the wire the link must be near-free —
+// the overhead ratio is the regression gate — every lease must renew on
+// schedule (zero degraded seconds), and the linked parallel and serial
+// sweeps must stay bit-identical.
+func clusterLink(quick bool) Scenario {
+	cfg := cluster.DefaultConfig()
+	if quick {
+		cfg.NumRacks = 2
+		cfg.Scenario.DurationS = 300
+		// Rescale the feeder to the smaller group: N rated draws plus one
+		// funded overload slot, mirroring DefaultConfig's provisioning rule.
+		rated := cfg.Scenario.Breaker.RatedPower
+		cfg.FeederBudgetW = float64(cfg.NumRacks)*rated + 0.25*rated
+	}
+
+	t0 := time.Now()
+	if _, err := cluster.Run(cfg); err != nil {
+		fatal(err)
+	}
+	staticNs := float64(time.Since(t0).Nanoseconds())
+
+	linkedCfg := cfg
+	linkedCfg.Link.Enabled = true
+	timeLinked := func(c cluster.Config) (*cluster.LinkedResult, float64) {
+		t0 := time.Now()
+		res, err := cluster.RunLinked(c)
+		if err != nil {
+			fatal(err)
+		}
+		return res, float64(time.Since(t0).Nanoseconds())
+	}
+	serialCfg := linkedCfg
+	serialCfg.Serial = true
+	serialRes, _ := timeLinked(serialCfg)
+	parRes, linkedNs := timeLinked(linkedCfg)
+
+	return Scenario{Name: "cluster_link", Metrics: map[string]float64{
+		"static_ns":          staticNs,
+		"linked_ns":          linkedNs,
+		"link_overhead":      linkedNs / math.Max(1, staticNs),
+		"bit_identical_link": racksEqual(&parRes.Result, &serialRes.Result),
+		"degraded_s":         parRes.DegradedS(),
+		"feeder_trips":       float64(parRes.FeederTrips),
+	}}
+}
+
 // racksEqual returns 1 when every per-rack, per-tick series of the two
 // cluster results is bit-for-bit equal, else 0.
 func racksEqual(p, q *cluster.Result) float64 {
@@ -378,6 +434,11 @@ func loadBaseline(path string) (Report, error) {
 //	bit_identical*        — may not drop below baseline
 //	*sweeps*, *unconverged* (lower better) — may not exceed baseline × 1.2
 //	speedup_*, sweep_reduction (higher better) — may not drop below × 0.8
+//	*_overhead (in-process wall ratio, lower better) — may not exceed
+//	                        × 1.3 (both sides measured in the same process,
+//	                        so the ratio survives machine changes)
+//	degraded_s, feeder_trips — may not exceed baseline (zero in the pinned
+//	                        fault-free link scenario)
 //	*_ns (wall clock)     — only with -wall: may not exceed × 1.2
 func compare(rep Report, path string, wall bool) int {
 	base, err := loadBaseline(path)
@@ -430,6 +491,12 @@ func compare(rep Report, path string, wall bool) int {
 			case strings.HasPrefix(name, "speedup") || name == "sweep_reduction" || name == "parallel_speedup":
 				bad = cur < ref*0.8
 				rule = ">20% speedup loss"
+			case strings.HasSuffix(name, "_overhead"):
+				bad = cur > ref*1.3
+				rule = ">30% overhead growth"
+			case name == "degraded_s" || name == "feeder_trips":
+				bad = cur > ref+1e-9
+				rule = "must not exceed baseline"
 			default:
 				continue
 			}

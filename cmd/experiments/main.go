@@ -8,7 +8,7 @@
 //
 // Experiments: fig1 fig2 fig3 fig5 fig6 fig7 fig8a fig8b headline
 // ablation-controller ablation-schedule ablation-ups sensitivity qos
-// daily-cost faults telemetry all.
+// daily-cost faults partition telemetry all.
 //
 // -cpuprofile and -memprofile write pprof profiles of the selected
 // experiment run (the usual entry point for optimizing the simulator).
@@ -126,6 +126,8 @@ func main() {
 		print1(experiments.SprintingBenefit())
 	case "faults":
 		print1(experiments.FaultMatrix())
+	case "partition":
+		print1(experiments.PartitionMatrix())
 	case "telemetry":
 		print1(experiments.TelemetrySummary())
 	default:

@@ -6,11 +6,21 @@
 //	sprintsim -policy sprintcon -deadline 720 -duration 900 [-csv out.csv]
 //	sprintsim -policy sgct-v2 -fault ups-path-failure:100:500 -events
 //	sprintsim -trace-jsonl decisions.jsonl -metrics-addr :9090 -hold
+//	sprintsim -racks 4 -link -fault link-partition:10:690:1:0
 //
 // Policies: sprintcon, sprintcon-pi, sgct, sgct-v1, sgct-v2.
 // The repeatable -fault flag injects runtime faults
 // (kind:onset:duration[:severity[:server]]); -unhardened strips SprintCon's
 // defenses to reproduce the paper-faithful fault-oblivious controller.
+//
+// Cluster mode: -racks N runs a feeder group of N SprintCon racks; -link
+// puts the lease-based coordinator↔rack control link in the loop
+// (DESIGN.md §12), which unlocks the link-scoped fault kinds
+// (link-loss, link-delay, link-dup, link-partition, coordinator-crash);
+// -naive-link swaps in the always-trust-last-grant strawman client and
+// -feeder-budget overrides the feeder provisioning. Cluster mode prints a
+// feeder/link summary and does not take the single-rack observability and
+// checkpoint flags.
 //
 // Observability: -trace-jsonl streams one structured decision record per
 // control period; -metrics-addr serves Prometheus /metrics, a /status JSON
@@ -29,6 +39,7 @@ import (
 
 	"sprintcon/internal/baseline"
 	"sprintcon/internal/checkpoint"
+	"sprintcon/internal/cluster"
 	"sprintcon/internal/core"
 	"sprintcon/internal/faults"
 	"sprintcon/internal/seriesio"
@@ -80,6 +91,12 @@ func main() {
 		restore   = flag.Bool("restore", false, "resume the run from the snapshot in -checkpoint instead of starting fresh")
 		replay    = flag.String("replay", "", "re-drive the run from the -checkpoint snapshot and diff its decisions against this recorded -trace-jsonl file")
 
+		racks        = flag.Int("racks", 0, "cluster mode: run this many racks on one feeder (0 = single rack)")
+		linkOn       = flag.Bool("link", false, "cluster mode: run the lease-based control link instead of static phase offsets")
+		naiveLink    = flag.Bool("naive-link", false, "cluster mode: always-trust-last-grant client (unsafe baseline; needs -link)")
+		feederBudget = flag.Float64("feeder-budget", 0, "cluster mode: feeder budget in W (0 = rated sum plus funded overload slots)")
+		linkSeed     = flag.Int64("link-seed", 0, "cluster mode: transport fault-randomness seed")
+
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /status JSON and /debug/pprof on this address (e.g. :9090)")
 		traceJSONL  = flag.String("trace-jsonl", "", "write one JSON decision record per control period to this file")
 		holdServer  = flag.Bool("hold", false, "with -metrics-addr: keep serving after the run until interrupted")
@@ -129,6 +146,20 @@ func main() {
 			log.Fatal(err)
 		}
 		scn.Trace = tr
+	}
+
+	if *racks > 0 {
+		if *csvPath != "" || *ckptPath != "" || *replay != "" || *traceJSONL != "" || *metricsAddr != "" {
+			log.Fatal("cluster mode (-racks) does not take -csv, -checkpoint, -replay, -trace-jsonl or -metrics-addr")
+		}
+		if *policyName != "sprintcon" {
+			log.Fatalf("cluster mode runs the sprintcon policy per rack; -policy %s is single-rack only", *policyName)
+		}
+		runCluster(scn, *racks, *linkOn, *naiveLink, *feederBudget, *linkSeed, *unhardened)
+		return
+	}
+	if *linkOn || *naiveLink {
+		log.Fatal("-link and -naive-link need cluster mode: give -racks")
 	}
 
 	policy, err := policyByName(*policyName, *unhardened)
@@ -332,6 +363,80 @@ func diffReplay(recorded []telemetry.Decision, buf *bytes.Buffer) error {
 	fmt.Printf("replay: %d decisions from t=%.0f s match the recorded trace (%d earlier records outside the replayed window)\n",
 		len(replayed), start, len(recorded)-len(tail))
 	return nil
+}
+
+// runCluster executes the multi-rack feeder group: the static phase-offset
+// schedule by default, the lease-based control link with -link. The feeder
+// budget defaults to the provisioning rule of cluster.DefaultConfig scaled
+// to the group — every rack's rated draw plus ⌈N·overload/cycle⌉ funded
+// overload bonuses.
+func runCluster(scn sim.Scenario, n int, linkOn, naive bool, budgetW float64, linkSeed int64, unhardened bool) {
+	cfg := cluster.DefaultConfig()
+	cfg.NumRacks = n
+	cfg.Scenario = scn
+	cfg.SprintCon.Harden.Disabled = unhardened
+	if budgetW > 0 {
+		cfg.FeederBudgetW = budgetW
+	} else {
+		rated := scn.Breaker.RatedPower
+		slots := (n + 2) / 3 // ⌈N·150/450⌉ for the default schedule
+		cfg.FeederBudgetW = float64(n)*rated + 0.25*rated*float64(slots)
+	}
+
+	if !linkOn {
+		res, err := cluster.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printClusterSummary(&cfg, res, nil)
+		return
+	}
+
+	cfg.Link.Enabled = true
+	cfg.Link.NaiveTrustLastGrant = naive
+	cfg.Link.Seed = linkSeed
+	res, err := cluster.RunLinked(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printClusterSummary(&cfg, &res.Result, res)
+}
+
+func printClusterSummary(cfg *cluster.Config, res *cluster.Result, linked *cluster.LinkedResult) {
+	mode := "static offsets"
+	if linked != nil {
+		mode = "control link"
+		if cfg.Link.NaiveTrustLastGrant {
+			mode = "control link (naive trust-last-grant)"
+		}
+	}
+	fmt.Printf("racks:                %d (%s)\n", cfg.NumRacks, mode)
+	fmt.Printf("feeder budget:        %.0f W\n", cfg.FeederBudgetW)
+	fmt.Printf("aggregate peak/mean:  %.0f / %.0f W\n", res.PeakW, res.MeanW)
+	fmt.Printf("over budget:          %.2f %% of ticks\n", 100*res.OverBudgetFrac)
+	fmt.Printf("CB trips:             %d\n", res.CBTrips)
+	fmt.Printf("outage:               %.0f s\n", res.OutageS)
+	fmt.Printf("deadline misses:      %d\n", res.DeadlineMisses)
+	if linked != nil {
+		fmt.Printf("feeder exceedance:    %.2f %% of ticks (beyond tracking tolerance)\n", 100*linked.FeederExceedFrac)
+		fmt.Printf("feeder trips:         %d\n", linked.FeederTrips)
+		fmt.Printf("degraded:             %.0f rack-seconds (resyncs: %d)\n", linked.DegradedS(), linked.Resyncs())
+		tr := linked.Transport
+		fmt.Printf("grants sent/lost:     %d / %d (dup extras: %d)\n",
+			tr.GrantsSent, tr.GrantsLost+tr.GrantsPartition, tr.GrantsDuped)
+		fmt.Printf("beats sent/lost:      %d / %d\n", tr.BeatsSent, tr.BeatsLost+tr.BeatsPartition)
+		fmt.Printf("coordinator:          %d grants, %d probes, %d repacks, %d presumed-degraded\n",
+			linked.Coord.Grants, linked.Coord.Probes, linked.Coord.Repacks, linked.Coord.Presumed)
+	}
+	for i, r := range res.Racks {
+		line := fmt.Sprintf("  rack %d: trips=%d outage=%.0fs misses=%d avg_fi=%.3f avg_fb=%.3f",
+			i, r.CBTrips, r.OutageS, r.DeadlineMisses, r.AvgFreqInter, r.AvgFreqBatch)
+		if linked != nil {
+			c := linked.Clients[i]
+			line += fmt.Sprintf(" degraded=%.0fs resyncs=%d", c.DegradedS, c.Resyncs)
+		}
+		fmt.Println(line)
+	}
 }
 
 func kindList() string {

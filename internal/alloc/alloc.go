@@ -189,6 +189,17 @@ func (a *Allocator) SetConfidence(c float64) {
 // Confidence returns the current measurement-confidence factor.
 func (a *Allocator) Confidence() float64 { return a.conf }
 
+// SetPhaseOffsetS re-phases the periodic overload schedule at runtime — the
+// control link's re-pack path moves a rack to a different overload slot this
+// way. Non-finite or negative offsets are clamped to 0 (the validated
+// config range).
+func (a *Allocator) SetPhaseOffsetS(s float64) {
+	if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+		s = 0
+	}
+	a.cfg.PhaseOffsetS = s
+}
+
 // Config returns the allocator configuration.
 func (a *Allocator) Config() Config { return a.cfg }
 

@@ -20,6 +20,7 @@ import (
 	"sprintcon/internal/breaker"
 	"sprintcon/internal/control"
 	"sprintcon/internal/faults"
+	"sprintcon/internal/link"
 	"sprintcon/internal/rack"
 	"sprintcon/internal/ups"
 )
@@ -92,6 +93,13 @@ type ControllerState struct {
 	InvSoCFloor   int
 	InvFreqBounds int
 	InvDeadline   int
+
+	// Control-link client state (linked cluster runs only). A restore
+	// without it — e.g. a snapshot taken before the rack was linked —
+	// drops the lease and re-enters degraded mode until the coordinator
+	// re-grants, the safe direction.
+	HasLink bool
+	Link    link.ClientState
 }
 
 // HardenState is the hardened controller's watchdog state.

@@ -21,11 +21,14 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"sprintcon/internal/alloc"
 	"sprintcon/internal/core"
+	"sprintcon/internal/link"
 	"sprintcon/internal/sim"
 	"sprintcon/internal/stats"
+	"sprintcon/internal/telemetry"
 )
 
 // Config describes the rack group.
@@ -48,6 +51,35 @@ type Config struct {
 	// Results are bit-identical either way; the knob exists so the
 	// benchmark harness can measure the parallel speedup.
 	Serial bool
+	// Link configures the coordinator↔rack control link (RunLinked).
+	Link LinkConfig
+}
+
+// LinkConfig enables and tunes the lease-based control link of RunLinked
+// (DESIGN.md §12). The zero value leaves the cluster in the static
+// phase-offset mode of Run.
+type LinkConfig struct {
+	// Enabled turns the link on; Run ignores it, RunLinked requires it.
+	Enabled bool
+	// Protocol holds the lease/heartbeat timing parameters. The zero value
+	// takes link.DefaultConfig with the overload schedule copied from the
+	// allocator configuration; a non-zero value must agree with that
+	// schedule, or the coordinator's slot arithmetic would describe a
+	// different square wave than the racks run.
+	Protocol link.Config
+	// Seed drives the transport's fault randomness (loss, delay,
+	// duplication draws).
+	Seed int64
+	// NaiveTrustLastGrant selects the baseline client that ignores lease
+	// expiry and keeps sprinting on the last grant it ever heard — the
+	// unsafe strawman experiment E19 measures against.
+	NaiveTrustLastGrant bool
+	// Metrics, when non-nil, receives the link instruments (grants
+	// sent/lost, degraded-mode seconds, re-sync count, lease age).
+	Metrics *telemetry.Registry
+	// RackOptions, when non-nil, supplies per-rack run options — the hook
+	// for per-rack checkpoint stores in crash/restore tests.
+	RackOptions func(rack int) sim.RunOptions
 }
 
 // MaxRacks bounds NumRacks: each rack is a full seeded simulation holding
@@ -77,10 +109,75 @@ func (c Config) Validate() error {
 	if c.NumRacks > MaxRacks {
 		return fmt.Errorf("cluster: NumRacks %d exceeds MaxRacks %d", c.NumRacks, MaxRacks)
 	}
+	if math.IsNaN(c.FeederBudgetW) || math.IsInf(c.FeederBudgetW, 0) {
+		return fmt.Errorf("cluster: FeederBudgetW is %g; the feeder budget must be finite", c.FeederBudgetW)
+	}
 	if c.FeederBudgetW < 0 {
 		return errors.New("cluster: FeederBudgetW must be non-negative")
 	}
-	return c.Scenario.Validate()
+	if !c.Link.Enabled {
+		return c.Scenario.Validate()
+	}
+	// Linked run: the scenario's fault plan may carry link-scoped faults,
+	// which the per-rack validation rejects — split first and validate each
+	// half against its consumer.
+	rackPlan, linkPlan := c.Scenario.Faults.Split()
+	scn := c.Scenario
+	scn.Faults = rackPlan
+	if err := scn.Validate(); err != nil {
+		return err
+	}
+	if err := linkPlan.ValidateForCluster(c.NumRacks, c.Scenario.Rack.NumServers); err != nil {
+		return err
+	}
+	_, ccfg, err := c.linkSetup()
+	if err != nil {
+		return err
+	}
+	return ccfg.Validate()
+}
+
+// allocConfig returns the per-rack allocator configuration the policies will
+// run (the override, or the default for the scenario's breaker).
+func (c Config) allocConfig() alloc.Config {
+	if c.SprintCon.AllocOverride != nil {
+		return *c.SprintCon.AllocOverride
+	}
+	return alloc.DefaultConfig(c.Scenario.Breaker.RatedPower, c.Scenario.Breaker.TripBudget())
+}
+
+// linkSetup resolves the effective link protocol and coordinator
+// configuration: protocol defaults filled from the allocator schedule, and
+// the slot capacity K = ⌊(budget − N·rated) / bonus⌋ the feeder headroom
+// funds, where bonus = rated·(degree−1) is one rack's overload surcharge.
+func (c Config) linkSetup() (link.Config, link.CoordConfig, error) {
+	acfg := c.allocConfig()
+	proto := c.Link.Protocol
+	if proto == (link.Config{}) {
+		proto = link.DefaultConfig()
+		proto.OverloadS, proto.CycleS = 0, 0
+	}
+	if proto.OverloadS == 0 && proto.CycleS == 0 {
+		proto.OverloadS = acfg.OverloadS
+		proto.CycleS = acfg.OverloadS + acfg.RecoveryS
+	}
+	proto.TrustLastGrant = c.Link.NaiveTrustLastGrant
+	if proto.OverloadS != acfg.OverloadS || proto.CycleS != acfg.OverloadS+acfg.RecoveryS {
+		return proto, link.CoordConfig{}, fmt.Errorf(
+			"cluster: link schedule (%g s overload / %g s cycle) disagrees with the allocator's (%g / %g); the coordinator's slot packing must describe the schedule the racks run",
+			proto.OverloadS, proto.CycleS, acfg.OverloadS, acfg.OverloadS+acfg.RecoveryS)
+	}
+	if err := proto.Validate(); err != nil {
+		return proto, link.CoordConfig{}, err
+	}
+	if c.FeederBudgetW <= 0 {
+		return proto, link.CoordConfig{}, errors.New("cluster: a linked run needs a positive FeederBudgetW; the slot capacity is derived from it")
+	}
+	rated := c.Scenario.Breaker.RatedPower
+	bonus := rated * (acfg.OverloadDegree - 1)
+	k := int((c.FeederBudgetW - float64(c.NumRacks)*rated) / bonus)
+	ccfg := link.CoordConfig{Link: proto, NumRacks: c.NumRacks, SlotCapacity: k}
+	return proto, ccfg, nil
 }
 
 // Result aggregates a coordinated run.

@@ -35,7 +35,10 @@ func randomStorm(rng *rand.Rand, numServers int) faults.Plan {
 			OnsetS:    float64(rng.Intn(700)),
 			DurationS: 20 + float64(rng.Intn(380)),
 		}
-		kinds := faults.Kinds()
+		// Single-rack storms draw only rack- and server-scoped kinds;
+		// link-scoped faults need a cluster with a control link (the
+		// cluster package soaks those).
+		kinds := append(faults.KindsForScope(faults.ScopeRack), faults.KindsForScope(faults.ScopeServer)...)
 		f.Kind = kinds[rng.Intn(len(kinds))]
 		switch f.Kind {
 		case faults.MonitorBias:

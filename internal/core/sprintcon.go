@@ -167,6 +167,10 @@ type SprintCon struct {
 	// inv is the runtime safety-invariant supervisor state (invariants.go).
 	inv invariantState
 
+	// ext is the cluster coordinator's externally imposed budget (zero
+	// value = standalone rack, no external constraint). See ExternalBudget.
+	ext ExternalBudget
+
 	// hd is the fault-defense state (nil when hardening is disabled).
 	hd *hardenState
 
@@ -234,6 +238,33 @@ func (s *SprintCon) Name() string {
 
 // Mode returns the current supervisor mode.
 func (s *SprintCon) Mode() Mode { return s.mode }
+
+// ExternalBudget is a budget imposed on the rack from outside — the cluster
+// control link's per-tick lease budget. It only ever tightens what the
+// rack's own schedule and supervisor would allow: an inactive external
+// budget leaves the controller bit-identical to a standalone run.
+type ExternalBudget struct {
+	// Active gates the whole struct; false means no external constraint.
+	Active bool
+	// PCbCapW, when positive, caps the CB power target.
+	PCbCapW float64
+	// AllowOverload false caps the CB target at the breaker rating.
+	AllowOverload bool
+	// AllowUPS false suppresses UPS discharge requests.
+	AllowUPS bool
+}
+
+// SetExternalBudget installs the external budget applied from the next tick
+// on.
+func (s *SprintCon) SetExternalBudget(b ExternalBudget) { s.ext = b }
+
+// SetPhaseOffset re-phases the allocator's overload schedule (the control
+// link's slot re-assignment path). Safe to call every tick.
+func (s *SprintCon) SetPhaseOffset(offsetS float64) {
+	if s.allocator != nil {
+		s.allocator.SetPhaseOffsetS(offsetS)
+	}
+}
 
 // Start implements sim.Policy.
 func (s *SprintCon) Start(env *sim.Env, scn sim.Scenario) error {
@@ -405,7 +436,7 @@ func (s *SprintCon) Tick(env *sim.Env, snap sim.Snapshot) float64 {
 
 	// UPS power control: cover everything the CB budget does not.
 	var req float64
-	if s.mode != ModeCBOnly && s.mode != ModeEnded && !math.IsInf(pcb, 1) {
+	if s.mode != ModeCBOnly && s.mode != ModeEnded && !math.IsInf(pcb, 1) && !s.upsBlocked() {
 		req = s.upsctl.Step(snap.MeasuredTotalW, snap.CBPowerW, pcb)
 	}
 	if s.hd.enabled() {
@@ -463,6 +494,12 @@ func (s *SprintCon) updateMode(snap sim.Snapshot) {
 	}
 }
 
+// upsBlocked reports whether the external budget forbids UPS discharge.
+// Without the UPS the allocator's plan (P_cb + planned discharge) is not
+// actuatable — the excess would land on the breaker — so every consumer of
+// the plan must fall back to the CB-only feedback law while this holds.
+func (s *SprintCon) upsBlocked() bool { return s.ext.Active && !s.ext.AllowUPS }
+
 // effectivePCb applies the supervisor's overrides to the scheduled P_cb.
 func (s *SprintCon) effectivePCb(now float64) float64 {
 	var pcb float64
@@ -485,6 +522,15 @@ func (s *SprintCon) effectivePCb(now float64) float64 {
 		// unknown, so hold the rated budget until a full recovery time
 		// has passed and the worst-case accumulator has drained.
 		pcb = math.Min(pcb, s.scn.Breaker.RatedPower)
+	}
+	if s.ext.Active {
+		// Cluster lease budget: tighten-only, never raise.
+		if !s.ext.AllowOverload {
+			pcb = math.Min(pcb, s.scn.Breaker.RatedPower)
+		}
+		if s.ext.PCbCapW > 0 {
+			pcb = math.Min(pcb, s.ext.PCbCapW)
+		}
 	}
 	return pcb
 }
@@ -531,7 +577,7 @@ func (s *SprintCon) serverPowerControl(env *sim.Env, snap sim.Snapshot, pcb, pIn
 	}
 
 	target := clamp(s.allocator.PBatchAt(now), s.pBatchMin, s.pBatchMax)
-	if s.mode == ModeCBOnly || s.mode == ModeEnded {
+	if s.mode == ModeCBOnly || s.mode == ModeEnded || s.upsBlocked() {
 		// UPS exhausted: all workloads must fit under P_cb (derated so
 		// the breaker's thermal state can decay). The Eq. (5)
 		// interactive estimate is biased once interactive cores are
@@ -660,7 +706,7 @@ func (s *SprintCon) deadlinePowerFloor(env *sim.Env, now float64) (floorW, urgen
 // manageInteractive keeps interactive cores at peak frequency, or bids them
 // down proportionally when the degraded modes leave too little CB budget.
 func (s *SprintCon) manageInteractive(env *sim.Env, pcb, pInterEst float64) {
-	if s.mode != ModeCBOnly && s.mode != ModeEnded {
+	if s.mode != ModeCBOnly && s.mode != ModeEnded && !s.upsBlocked() {
 		env.Rack.SetInteractiveFreq(s.fmax)
 		return
 	}

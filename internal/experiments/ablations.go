@@ -291,6 +291,7 @@ func All() ([]*Table, error) {
 		EnergyEfficiency,
 		SprintingBenefit,
 		FaultMatrix,
+		PartitionMatrix,
 	}
 	var out []*Table
 	for _, c := range ctors {

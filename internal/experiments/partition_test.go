@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPartitionMatrixClaims pins the E19 acceptance claims: the lease client
+// records zero feeder and breaker trips (and negligible exceedance) on every
+// network condition, the naive always-trust-last-grant client over-subscribes
+// the feeder under the sustained single-rack partition, and the partitioned
+// rack re-enters coordinated sprinting within one control period of the heal.
+func TestPartitionMatrixClaims(t *testing.T) {
+	tbl, err := PartitionMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(PartitionRows()) * 2
+	if len(tbl.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), wantRows)
+	}
+	naiveBroken := false
+	for i, row := range tbl.Rows {
+		condition, client := row[0], row[1]
+		exceed := cell(t, tbl, i, 2)
+		feederTrips := cell(t, tbl, i, 3)
+		cbTrips := cell(t, tbl, i, 4)
+		degraded := cell(t, tbl, i, 5)
+		switch {
+		case client == "lease":
+			if feederTrips != 0 || cbTrips != 0 || exceed > 0.01 {
+				t.Errorf("lease client unsafe under %s: exceed=%v feeder_trips=%v cb_trips=%v",
+					condition, exceed, feederTrips, cbTrips)
+			}
+			if strings.HasPrefix(condition, "partition") && degraded == 0 {
+				t.Errorf("lease client recorded no degraded time under %s; the ladder never engaged", condition)
+			}
+		case condition == "partition-r0-690s" && (exceed > 0.02 || feederTrips > 0):
+			naiveBroken = true
+		}
+	}
+	if !naiveBroken {
+		t.Error("sustained partition did not break the naive client; the matrix must show the stale-grant over-subscription")
+	}
+	resyncNoted := false
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "re-synced") {
+			resyncNoted = true
+		}
+	}
+	if !resyncNoted {
+		t.Error("matrix notes missing the re-sync latency measurement")
+	}
+}

@@ -24,6 +24,22 @@
 //	                   Severity seconds later from the latest checkpoint
 //	                   (or into the fail-safe state without one)
 //
+// Link-scoped kinds attack the coordinator↔rack control link of a cluster
+// run (DESIGN.md §12). They are scheduled through the same Plan so they
+// compose with the kinds above, but they are consumed by the cluster's link
+// transport, never by a rack-local Injector — single-rack scenarios reject
+// them at validation time:
+//
+//	LinkLoss         — control-link messages dropped with probability Severity
+//	LinkDelay        — messages delayed by a seeded uniform draw from
+//	                   [0, Severity] seconds (reordering)
+//	LinkDup          — messages duplicated with probability Severity
+//	LinkPartition    — rack `Server` (or all racks) fully partitioned from
+//	                   the coordinator, both directions
+//	CoordinatorCrash — the coordinator process is down: heartbeats are lost,
+//	                   no grants are issued; on clear it restarts empty and
+//	                   re-syncs from rack heartbeats
+//
 // All injection is pure state-machine logic driven by the schedule: two runs
 // with identical scenarios and identical plans are bit-identical.
 package faults
@@ -51,6 +67,12 @@ const (
 	UPSPathFailure   Kind = "ups-path-failure"
 	UPSGaugeBias     Kind = "ups-gauge-bias"
 	ControllerCrash  Kind = "controller-crash"
+
+	LinkLoss         Kind = "link-loss"
+	LinkDelay        Kind = "link-delay"
+	LinkDup          Kind = "link-duplicate"
+	LinkPartition    Kind = "link-partition"
+	CoordinatorCrash Kind = "coordinator-crash"
 )
 
 // Kinds returns every supported fault kind, in taxonomy order.
@@ -59,6 +81,65 @@ func Kinds() []Kind {
 		MonitorDropout, MonitorFreeze, MonitorBias, MeasurementDelay,
 		ActuatorStuck, ActuatorLag, ServerCrash, UPSPathFailure,
 		UPSGaugeBias, ControllerCrash,
+		LinkLoss, LinkDelay, LinkDup, LinkPartition, CoordinatorCrash,
+	}
+}
+
+// KindsForScope returns the kinds of one scope, in taxonomy order — e.g.
+// the kinds legal in a single-rack scenario are KindsForScope(ScopeRack)
+// plus KindsForScope(ScopeServer).
+func KindsForScope(s Scope) []Kind {
+	var out []Kind
+	for _, k := range Kinds() {
+		if k.Scope() == s {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Scope classifies what a fault kind attacks, which decides who consumes it:
+// rack- and server-scoped kinds drive the rack-local Injector; link-scoped
+// kinds drive the cluster's coordinator↔rack control link and are invalid in
+// single-rack scenarios.
+type Scope int
+
+const (
+	// ScopeRack faults hit a shared rack component (power monitor, UPS
+	// path, controller process); the Server field is unused.
+	ScopeRack Scope = iota
+	// ScopeServer faults target one server (or all, via AllServers).
+	ScopeServer
+	// ScopeLink faults attack the coordinator↔rack control link; for
+	// LinkPartition the Server field selects the partitioned *rack* index
+	// (AllRacks for every rack).
+	ScopeLink
+)
+
+// String names the scope for errors and logs.
+func (s Scope) String() string {
+	switch s {
+	case ScopeRack:
+		return "rack"
+	case ScopeServer:
+		return "server"
+	case ScopeLink:
+		return "link"
+	default:
+		return fmt.Sprintf("Scope(%d)", int(s))
+	}
+}
+
+// Scope returns the kind's scope. Unknown kinds report ScopeRack; callers
+// validate kinds before consulting the scope.
+func (k Kind) Scope() Scope {
+	switch k {
+	case ActuatorStuck, ActuatorLag, ServerCrash:
+		return ScopeServer
+	case LinkLoss, LinkDelay, LinkDup, LinkPartition, CoordinatorCrash:
+		return ScopeLink
+	default:
+		return ScopeRack
 	}
 }
 
@@ -73,9 +154,11 @@ func (k Kind) valid() bool {
 }
 
 // perServer reports whether the kind targets one server (Server field used).
-func (k Kind) perServer() bool {
-	return k == ActuatorStuck || k == ActuatorLag || k == ServerCrash
-}
+func (k Kind) perServer() bool { return k.Scope() == ScopeServer }
+
+// perRack reports whether the kind targets one rack of a cluster through the
+// Server field (only LinkPartition today).
+func (k Kind) perRack() bool { return k == LinkPartition }
 
 // Fault is one schedulable failure: it becomes active at OnsetS and clears
 // DurationS later. Severity is kind-specific (see the package comment);
@@ -92,6 +175,10 @@ type Fault struct {
 // AllServers targets every server with a per-server fault kind.
 const AllServers = -1
 
+// AllRacks targets every rack with a per-rack link fault kind (the Server
+// field doubles as the rack selector for link-scoped kinds).
+const AllRacks = -1
+
 // String formats the fault for logs and events.
 func (f Fault) String() string {
 	s := fmt.Sprintf("%s onset=%gs duration=%gs", f.Kind, f.OnsetS, f.DurationS)
@@ -103,6 +190,13 @@ func (f Fault) String() string {
 			s += " server=all"
 		} else {
 			s += fmt.Sprintf(" server=%d", f.Server)
+		}
+	}
+	if f.Kind.perRack() {
+		if f.Server == AllRacks {
+			s += " rack=all"
+		} else {
+			s += fmt.Sprintf(" rack=%d", f.Server)
 		}
 	}
 	return s
@@ -149,13 +243,28 @@ func (f Fault) Validate() error {
 		if f.Severity < 0 {
 			return fmt.Errorf("faults: controller-crash severity %g must be a non-negative restart delay in seconds", f.Severity)
 		}
+	case LinkLoss, LinkDup:
+		if f.Severity <= 0 || f.Severity > 1 {
+			return fmt.Errorf("faults: %s severity %g must be a probability in (0, 1]", f.Kind, f.Severity)
+		}
+	case LinkDelay:
+		if f.Severity <= 0 {
+			return fmt.Errorf("faults: link-delay severity %g must be a positive maximum delay in seconds", f.Severity)
+		}
 	}
-	if f.Kind.perServer() {
+	switch {
+	case f.Kind.perServer():
 		if f.Server < AllServers {
 			return fmt.Errorf("faults: %s: server %d must be %d (all) or a server index", f.Kind, f.Server, AllServers)
 		}
-	} else if f.Server != 0 {
-		return fmt.Errorf("faults: %s is not a per-server fault (server must be 0)", f.Kind)
+	case f.Kind.perRack():
+		if f.Server < AllRacks {
+			return fmt.Errorf("faults: %s: rack %d must be %d (all) or a rack index", f.Kind, f.Server, AllRacks)
+		}
+	default:
+		if f.Server != 0 {
+			return fmt.Errorf("faults: %s is not a per-server or per-rack fault (server must be 0)", f.Kind)
+		}
 	}
 	return nil
 }
@@ -190,17 +299,61 @@ func (p Plan) Validate() error {
 	return nil
 }
 
-// ValidateForRack additionally checks server indices against a rack size.
+// ValidateForRack additionally checks server indices against a rack size,
+// and rejects link-scoped faults outright: a single-rack scenario has no
+// coordinator↔rack control link to inject them into, so accepting them would
+// silently ignore part of the schedule. Cluster runs validate the full plan
+// with ValidateForCluster and hand each rack only the rack/server-scoped
+// remainder (Split).
 func (p Plan) ValidateForRack(numServers int) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
 	for i, f := range p.Faults {
+		if f.Kind.Scope() == ScopeLink {
+			return fmt.Errorf("faults: fault %d: %s is link-scoped and needs a cluster run with a control link (cluster.RunLinked); single-rack scenarios have none", i, f.Kind)
+		}
 		if f.Kind.perServer() && f.Server >= numServers {
 			return fmt.Errorf("faults: fault %d: server %d out of range (rack has %d)", i, f.Server, numServers)
 		}
 	}
 	return nil
+}
+
+// ValidateForCluster checks the full plan of a linked cluster run: rack- and
+// server-scoped faults against the per-rack size, link-scoped faults against
+// the rack count.
+func (p Plan) ValidateForCluster(numRacks, numServers int) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for i, f := range p.Faults {
+		switch {
+		case f.Kind.perServer() && f.Server >= numServers:
+			return fmt.Errorf("faults: fault %d: server %d out of range (rack has %d)", i, f.Server, numServers)
+		case f.Kind.perRack() && f.Server >= numRacks:
+			return fmt.Errorf("faults: fault %d: rack %d out of range (cluster has %d)", i, f.Server, numRacks)
+		}
+	}
+	return nil
+}
+
+// Split partitions the plan by consumer: rack/server-scoped faults (for the
+// per-rack Injectors) and link-scoped faults (for the cluster's link
+// transport). The rack plan keeps the onset jitter and seed — multi-rack
+// runs offset the seed per rack as before. The link plan's jitter is zeroed:
+// the control link is one cluster-global schedule, and jittering it per rack
+// would desynchronize what is physically a single network event.
+func (p Plan) Split() (rackPlan, linkPlan Plan) {
+	rackPlan = Plan{OnsetJitterS: p.OnsetJitterS, Seed: p.Seed}
+	for _, f := range p.Faults {
+		if f.Kind.Scope() == ScopeLink {
+			linkPlan.Faults = append(linkPlan.Faults, f)
+		} else {
+			rackPlan.Faults = append(rackPlan.Faults, f)
+		}
+	}
+	return rackPlan, linkPlan
 }
 
 // Injector is the per-run fault state machine. It tracks which faults are
@@ -227,6 +380,14 @@ type Injector struct {
 func NewInjector(p Plan, dt float64) *Injector {
 	if err := p.Validate(); err != nil {
 		panic(fmt.Sprintf("faults: NewInjector on invalid plan: %v", err))
+	}
+	for _, f := range p.Faults {
+		if f.Kind.Scope() == ScopeLink {
+			// The injector is rack-local; a link fault reaching it would be
+			// silently inert. Scenario validation rejects these earlier with
+			// a descriptive error — this is the structural backstop.
+			panic(fmt.Sprintf("faults: NewInjector handed link-scoped fault %s; link faults drive the cluster link transport, not a rack injector", f.Kind))
+		}
 	}
 	if dt <= 0 || math.IsNaN(dt) {
 		panic(fmt.Sprintf("faults: NewInjector with dt %g", dt))

@@ -1,0 +1,166 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// The scope taxonomy drives who consumes each fault kind; pin every kind's
+// classification so a new kind cannot silently land in the wrong consumer.
+func TestKindScopeTable(t *testing.T) {
+	want := map[Kind]Scope{
+		MonitorDropout:   ScopeRack,
+		MonitorFreeze:    ScopeRack,
+		MonitorBias:      ScopeRack,
+		MeasurementDelay: ScopeRack,
+		UPSPathFailure:   ScopeRack,
+		UPSGaugeBias:     ScopeRack,
+		ControllerCrash:  ScopeRack,
+		ActuatorStuck:    ScopeServer,
+		ActuatorLag:      ScopeServer,
+		ServerCrash:      ScopeServer,
+		LinkLoss:         ScopeLink,
+		LinkDelay:        ScopeLink,
+		LinkDup:          ScopeLink,
+		LinkPartition:    ScopeLink,
+		CoordinatorCrash: ScopeLink,
+	}
+	if len(want) != len(Kinds()) {
+		t.Fatalf("taxonomy drifted: %d kinds, scope table has %d", len(Kinds()), len(want))
+	}
+	for k, s := range want {
+		if got := k.Scope(); got != s {
+			t.Errorf("%s: scope %v, want %v", k, got, s)
+		}
+	}
+}
+
+// KindsForScope must partition Kinds(): every kind in exactly one scope list.
+func TestKindsForScopePartition(t *testing.T) {
+	seen := map[Kind]int{}
+	for _, s := range []Scope{ScopeRack, ScopeServer, ScopeLink} {
+		for _, k := range KindsForScope(s) {
+			seen[k]++
+		}
+	}
+	for _, k := range Kinds() {
+		if seen[k] != 1 {
+			t.Errorf("%s appears %d times across scope lists, want exactly 1", k, seen[k])
+		}
+	}
+}
+
+func TestLinkFaultValidateTable(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Fault
+		ok   bool
+	}{
+		{"valid loss", Fault{Kind: LinkLoss, OnsetS: 1, DurationS: 2, Severity: 0.3}, true},
+		{"loss needs probability", Fault{Kind: LinkLoss, OnsetS: 1, DurationS: 2, Severity: 1.5}, false},
+		{"loss zero probability", Fault{Kind: LinkLoss, OnsetS: 1, DurationS: 2, Severity: 0}, false},
+		{"valid delay", Fault{Kind: LinkDelay, OnsetS: 1, DurationS: 2, Severity: 4}, true},
+		{"delay needs positive", Fault{Kind: LinkDelay, OnsetS: 1, DurationS: 2, Severity: -1}, false},
+		{"valid dup", Fault{Kind: LinkDup, OnsetS: 1, DurationS: 2, Severity: 1}, true},
+		{"dup over 1", Fault{Kind: LinkDup, OnsetS: 1, DurationS: 2, Severity: 1.01}, false},
+		{"valid partition one rack", Fault{Kind: LinkPartition, OnsetS: 1, DurationS: 2, Severity: 1, Server: 2}, true},
+		{"valid partition all racks", Fault{Kind: LinkPartition, OnsetS: 1, DurationS: 2, Severity: 1, Server: AllRacks}, true},
+		{"partition rack below -1", Fault{Kind: LinkPartition, OnsetS: 1, DurationS: 2, Severity: 1, Server: -2}, false},
+		{"valid coordinator crash", Fault{Kind: CoordinatorCrash, OnsetS: 1, DurationS: 2, Severity: 1}, true},
+		{"coordinator crash is not per-rack", Fault{Kind: CoordinatorCrash, OnsetS: 1, DurationS: 2, Severity: 1, Server: 1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.f.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+// A single-rack scenario must reject link-scoped faults with an error that
+// tells the user where those faults are legal.
+func TestValidateForRackRejectsLinkFaults(t *testing.T) {
+	for _, k := range KindsForScope(ScopeLink) {
+		f := Fault{Kind: k, OnsetS: 1, DurationS: 2, Severity: 0.5}
+		p := Plan{Faults: []Fault{f}}
+		err := p.ValidateForRack(16)
+		if err == nil {
+			t.Fatalf("%s accepted by a single-rack plan", k)
+		}
+		if !strings.Contains(err.Error(), "cluster") {
+			t.Fatalf("%s rejection does not point at cluster runs: %v", k, err)
+		}
+	}
+}
+
+func TestValidateForClusterBounds(t *testing.T) {
+	mk := func(rack int) Plan {
+		return Plan{Faults: []Fault{{Kind: LinkPartition, OnsetS: 1, DurationS: 2, Severity: 1, Server: rack}}}
+	}
+	if err := mk(3).ValidateForCluster(4, 16); err != nil {
+		t.Fatalf("rack 3 of 4 should validate: %v", err)
+	}
+	if err := mk(4).ValidateForCluster(4, 16); err == nil {
+		t.Fatal("rack 4 of 4 should fail validation")
+	}
+	if err := mk(AllRacks).ValidateForCluster(4, 16); err != nil {
+		t.Fatalf("all-racks partition should validate: %v", err)
+	}
+	// Server-scoped bounds still apply in cluster plans.
+	p := Plan{Faults: []Fault{{Kind: ServerCrash, OnsetS: 1, DurationS: 2, Server: 20}}}
+	if err := p.ValidateForCluster(4, 16); err == nil {
+		t.Fatal("server 20 of 16 should fail cluster validation")
+	}
+}
+
+// Split must route every fault to exactly one consumer, keep the rack plan's
+// jitter (racks offset the seed individually) and zero the link plan's (one
+// cluster-global schedule).
+func TestPlanSplit(t *testing.T) {
+	p := Plan{
+		OnsetJitterS: 5,
+		Seed:         42,
+		Faults: []Fault{
+			{Kind: MonitorFreeze, OnsetS: 10, DurationS: 20},
+			{Kind: LinkLoss, OnsetS: 30, DurationS: 40, Severity: 0.2},
+			{Kind: ServerCrash, OnsetS: 50, DurationS: 60, Server: 1},
+			{Kind: LinkPartition, OnsetS: 70, DurationS: 80, Severity: 1, Server: 0},
+		},
+	}
+	rackPlan, linkPlan := p.Split()
+	if len(rackPlan.Faults) != 2 || len(linkPlan.Faults) != 2 {
+		t.Fatalf("split sizes %d/%d, want 2/2", len(rackPlan.Faults), len(linkPlan.Faults))
+	}
+	for _, f := range rackPlan.Faults {
+		if f.Kind.Scope() == ScopeLink {
+			t.Fatalf("link fault %s in rack plan", f.Kind)
+		}
+	}
+	for _, f := range linkPlan.Faults {
+		if f.Kind.Scope() != ScopeLink {
+			t.Fatalf("non-link fault %s in link plan", f.Kind)
+		}
+	}
+	if rackPlan.OnsetJitterS != 5 || rackPlan.Seed != 42 {
+		t.Fatalf("rack plan lost jitter/seed: %+v", rackPlan)
+	}
+	if linkPlan.OnsetJitterS != 0 {
+		t.Fatalf("link plan kept onset jitter %g; the link schedule is cluster-global", linkPlan.OnsetJitterS)
+	}
+}
+
+// The injector must refuse link-scoped faults outright — the structural
+// backstop behind scenario validation.
+func TestInjectorPanicsOnLinkFault(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewInjector accepted a link-scoped fault")
+		}
+	}()
+	NewInjector(Plan{Faults: []Fault{{Kind: LinkLoss, OnsetS: 1, DurationS: 2, Severity: 0.5}}}, 1)
+}

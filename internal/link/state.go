@@ -1,0 +1,98 @@
+package link
+
+import (
+	"fmt"
+	"math"
+)
+
+// ClientState is the Client's complete mutable state, embedded in controller
+// checkpoints so a crash-restore mid-partition resumes the lease ladder
+// bit-identically (degraded-mode seconds, stale counters and all) instead of
+// resetting it.
+type ClientState struct {
+	HasLease       bool
+	Lease          Lease
+	Degraded       bool
+	SuppressUntilS float64
+
+	LastOverloadEndS float64
+	EverOverloaded   bool
+
+	LastBeatS float64
+	BeatEver  bool
+
+	BeatMeasuredW   float64
+	BeatSoC         float64
+	BeatOverloading bool
+	BeatMode        int
+
+	Stats ClientStats
+}
+
+// ExportState captures the client for a checkpoint.
+func (c *Client) ExportState() ClientState {
+	return ClientState{
+		HasLease:         c.hasLease,
+		Lease:            c.lease,
+		Degraded:         c.degraded,
+		SuppressUntilS:   c.suppressUntilS,
+		LastOverloadEndS: c.lastOverloadEndS,
+		EverOverloaded:   c.everOverloaded,
+		LastBeatS:        c.lastBeatS,
+		BeatEver:         c.beatEver,
+		BeatMeasuredW:    c.beatMeasuredW,
+		BeatSoC:          c.beatSoC,
+		BeatOverloading:  c.beatOverloading,
+		BeatMode:         c.beatMode,
+		Stats:            c.stats,
+	}
+}
+
+// RestoreState replaces the client's state from a checkpoint. The protocol
+// configuration and rack identity are not part of the state — they come from
+// the live run — so a snapshot for a different rack is rejected.
+func (c *Client) RestoreState(st ClientState) error {
+	if st.HasLease && st.Lease.RackID != c.id {
+		return fmt.Errorf("link: restoring rack %d state into rack %d client", st.Lease.RackID, c.id)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"lease issue time", st.Lease.IssuedAtS},
+		{"lease TTL", st.Lease.TTLS},
+		{"lease cap", st.Lease.PCbCapW},
+		{"lease phase offset", st.Lease.PhaseOffsetS},
+		{"suppress-until", st.SuppressUntilS},
+		{"last-overload-end", st.LastOverloadEndS},
+		{"last-beat time", st.LastBeatS},
+		{"beat power", st.BeatMeasuredW},
+		{"beat SoC", st.BeatSoC},
+		{"degraded seconds", st.Stats.DegradedS},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("link: checkpoint %s is %g", f.name, f.v)
+		}
+	}
+	if st.Stats.DegradedS < 0 {
+		return fmt.Errorf("link: checkpoint degraded seconds %g negative", st.Stats.DegradedS)
+	}
+	if st.Stats.Accepted < 0 || st.Stats.Stale < 0 || st.Stats.Expiries < 0 || st.Stats.Resyncs < 0 {
+		return fmt.Errorf("link: checkpoint lease counters negative")
+	}
+	c.hasLease = st.HasLease
+	c.lease = st.Lease
+	c.lease.RackID = c.id
+	c.degraded = st.Degraded
+	c.suppressUntilS = st.SuppressUntilS
+	c.lastOverloadEndS = st.LastOverloadEndS
+	c.everOverloaded = st.EverOverloaded
+	c.lastBeatS = st.LastBeatS
+	c.beatEver = st.BeatEver
+	c.beatMeasuredW = st.BeatMeasuredW
+	c.beatSoC = st.BeatSoC
+	c.beatOverloading = st.BeatOverloading
+	c.beatMode = st.BeatMode
+	c.stats = st.Stats
+	return nil
+}

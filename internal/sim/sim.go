@@ -10,7 +10,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"time"
 
 	"sprintcon/internal/breaker"
 	"sprintcon/internal/checkpoint"
@@ -362,263 +361,20 @@ func (em *engineMetrics) observeTick(now, pTotal, cbW, upsW float64, env *Env) {
 }
 
 // RunWith simulates the scenario under the policy with the given
-// observability options.
+// observability options. It is the convenience loop over a Runner; callers
+// that need to interleave work between ticks (the cluster's lock-step
+// control link) drive the Runner directly and get bit-identical results.
 func RunWith(scn Scenario, p Policy, opts RunOptions) (*Result, error) {
-	if err := scn.Validate(); err != nil {
-		return nil, err
-	}
-	env, err := BuildEnv(scn)
+	r, err := NewRunner(scn, p, opts)
 	if err != nil {
 		return nil, err
 	}
-	env.Metrics = opts.Metrics
-	env.Decisions = opts.Decisions
-
-	res := &Result{Policy: p.Name(), Scenario: scn, MaxCompletionTimeS: math.NaN()}
-	res.InteractiveDemand = env.Trace.Summary()
-	res.Series.DtS = scn.DtS
-
-	// Fault injection: nil when the plan is empty, so fault-free runs
-	// follow the exact legacy code path (bit-identical results). Built
-	// before the policy binds so a resumed run restores it first.
-	var inj *faults.Injector
-	if !scn.Faults.Empty() {
-		inj = faults.NewInjector(scn.Faults, scn.DtS)
-	}
-
-	// Checkpoint/crash runtime: nil unless the run checkpoints or its
-	// fault plan kills the controller, keeping ordinary runs untouched.
-	ckr, err := newCkRuntime(p, scn, opts)
-	if err != nil {
-		return nil, err
-	}
-
-	steps := int(math.Round(scn.DurationS / scn.DtS))
-	dt := scn.DtS
-	startStep := 0
-	outage := false
-	var controlledTicks, overTicks int
-	var trackErrSum float64
-	var snap Snapshot
-	if opts.Resume != nil {
-		rs, err := applyResume(env, scn, p, inj, opts.Resume, res)
-		if err != nil {
+	for !r.Done() {
+		if err := r.Step(); err != nil {
 			return nil, err
 		}
-		startStep = rs.startStep
-		outage = rs.outage
-		controlledTicks, overTicks, trackErrSum = rs.controlled, rs.over, rs.trackErrSum
-		snap = rs.snap
-	} else {
-		if err := p.Start(env, scn); err != nil {
-			return nil, fmt.Errorf("sim: policy %s start: %w", p.Name(), err)
-		}
-		initialMeasured := env.Rack.MeasuredPower()
-		if inj != nil {
-			// Primes the injector's last-reading state before any fault is
-			// active, so an onset-0 freeze holds a real pre-fault value.
-			initialMeasured = inj.FilterMeasurement(initialMeasured)
-		}
-		snap = Snapshot{
-			Dt:             dt,
-			MeasuredTotalW: initialMeasured,
-			CBPowerW:       env.Rack.TruePower(),
-			UPSSoC:         env.UPS.SoC(),
-		}
 	}
-	res.Series.grow(steps - startStep)
-
-	reporter, _ := p.(TargetReporter)
-
-	// Engine telemetry: instruments resolve to nil-safe no-ops when
-	// opts.Metrics is nil, and the wall clock is only read when enabled.
-	em := newEngineMetrics(opts.Metrics)
-	status := func(now float64, pTotal, cbW, upsW float64, done bool) {
-		if opts.Status == nil {
-			return
-		}
-		ss := telemetry.StatusSnapshot{
-			Policy:    p.Name(),
-			NowS:      now,
-			DurationS: scn.DurationS,
-			Progress:  math.Min(1, now/scn.DurationS),
-			Ticks:     int64(len(res.Series.Time)),
-			TotalW:    pTotal,
-			CBW:       cbW,
-			UPSW:      upsW,
-			SoC:       env.UPS.SoC(),
-			CBTrips:   res.CBTrips,
-			OutageS:   res.OutageS,
-			Done:      done,
-		}
-		if ckr != nil {
-			ss.CheckpointSaves = ckr.saves
-			ss.CheckpointBytes = ckr.lastBytes
-			if ckr.haveSave {
-				ss.CheckpointAgeS = math.Max(0, now-ckr.lastSaveS)
-			}
-			ss.CtlRestarts = ckr.restarts
-			ss.CtlFailSafeRestarts = ckr.failsafes
-		}
-		opts.Status.Set(ss)
-	}
-
-	for step := startStep; step < steps; step++ {
-		now := float64(step) * dt
-		var tickStart time.Time
-		if em.enabled {
-			tickStart = time.Now()
-		}
-		env.Events.SetNow(now)
-		env.Rack.SetAmbient(scn.AmbientBaseC + scn.AmbientSwingC*math.Sin(2*math.Pi*now/1800))
-
-		if inj != nil {
-			onsets, clears := inj.Step(now)
-			for _, f := range onsets {
-				env.Events.Logf("fault-onset", "%s", f)
-				if f.Kind == faults.ControllerCrash {
-					// ckr is always non-nil when the plan contains a
-					// controller crash (newCkRuntime guarantees it).
-					ckr.noteCrash(env, now, f.Severity)
-				}
-			}
-			for _, f := range clears {
-				env.Events.Logf("fault-clear", "%s cleared", f.Kind)
-			}
-			if len(onsets)+len(clears) > 0 {
-				for i, st := range inj.ServerStates(scn.Rack.NumServers) {
-					env.Rack.SetFaultState(i, rack.FaultState{
-						Offline: st.Offline,
-						Stuck:   st.Stuck,
-						LagFrac: st.LagFrac,
-					})
-				}
-			}
-		}
-
-		if outage {
-			// The rack is dark: breaker cools; nothing executes.
-			env.Breaker.Cool(dt)
-			if env.Breaker.CanReclose() {
-				if err := env.Breaker.Reclose(); err == nil {
-					outage = false
-					env.Events.Logf("cb-reclose", "breaker recovered; rack re-powered")
-				}
-			}
-		}
-		if outage {
-			res.OutageS += dt
-			recordTick(res, reporter, now, 0, 0, 0, env, true)
-			snap = nextSnapshot(now+dt, dt, 0, 0, 0, env, true)
-			if inj != nil {
-				snap.UPSSoC, snap.UPSDepleted = inj.FilterSoC(snap.UPSSoC, snap.UPSDepleted)
-			}
-			if ckr != nil {
-				ckr.capture(env, inj, res, now+dt, step+1, snap, true, controlledTicks, overTicks, trackErrSum)
-			}
-			if em.enabled {
-				em.outageS.Add(dt)
-				em.observeTick(now, 0, 0, 0, env)
-				em.tickSeconds.Observe(time.Since(tickStart).Seconds())
-			}
-			status(now, 0, 0, 0, false)
-			continue
-		}
-
-		// Workload arrives; policy senses and actuates.
-		env.Rack.ApplyInteractiveDemand(env.Trace.At(now))
-		snap.Now = now
-		var upsReq float64
-		ctlDead := false
-		if ckr != nil {
-			if err := ckr.maybeRestart(env, now); err != nil {
-				return nil, err
-			}
-			ctlDead = ckr.ctlDead
-		}
-		if !ctlDead {
-			upsReq = p.Tick(env, snap)
-		}
-		// A dead controller issues nothing: the rack holds its last
-		// commanded frequencies and the UPS receives no request.
-		if upsReq < 0 || math.IsNaN(upsReq) {
-			upsReq = 0
-		}
-
-		pTotal := env.Rack.TruePower()
-		measured := env.Rack.MeasuredPower()
-		if inj != nil {
-			measured = inj.FilterMeasurement(measured)
-		}
-		upsPathOpen := inj != nil && inj.UPSPathFailed()
-
-		var cbW, upsW float64
-		if !env.Breaker.Tripped() {
-			if !upsPathOpen {
-				upsW = env.UPS.Discharge(upsReq, pTotal, dt)
-			}
-			cbW = env.Breaker.Step(pTotal-upsW, dt)
-			if env.Breaker.Tripped() {
-				res.CBTrips++
-				em.trips.Inc()
-				env.Events.Logf("cb-trip", "breaker tripped at %.0f W conducted", cbW)
-			}
-		} else {
-			// Open breaker: cool toward reclose; the UPS must carry
-			// the whole rack or the rack goes dark.
-			env.Breaker.Cool(dt)
-			if env.Breaker.CanReclose() {
-				_ = env.Breaker.Reclose()
-			}
-			if !upsPathOpen {
-				upsW = env.UPS.Discharge(pTotal, pTotal, dt)
-			}
-			if upsW < pTotal-1e-6 {
-				outage = true
-				env.Events.Logf("outage", "UPS exhausted with the breaker open; rack dark")
-			}
-		}
-
-		if !outage {
-			env.Rack.AdvanceBatch(dt, now)
-		} else {
-			res.OutageS += dt
-			em.outageS.Add(dt)
-		}
-
-		recordTick(res, reporter, now, pTotal, cbW, upsW, env, outage)
-		if em.enabled {
-			em.observeTick(now, pTotal, cbW, upsW, env)
-			em.tickSeconds.Observe(time.Since(tickStart).Seconds())
-		}
-		status(now, pTotal, cbW, upsW, false)
-
-		// CB budget tracking quality (dead-controller ticks are not
-		// "controlled": nothing was tracking the budget).
-		if reporter != nil && !ctlDead {
-			pcb, _ := reporter.Targets(now)
-			if !math.IsInf(pcb, 1) && !math.IsNaN(pcb) && !outage {
-				controlledTicks++
-				trackErrSum += math.Abs(cbW - pcb)
-				if cbW > pcb*1.01 {
-					overTicks++
-				}
-			}
-		}
-
-		snap = nextSnapshot(now+dt, dt, measured, cbW, upsW, env, outage)
-		if inj != nil {
-			snap.UPSSoC, snap.UPSDepleted = inj.FilterSoC(snap.UPSSoC, snap.UPSDepleted)
-		}
-		if ckr != nil {
-			ckr.capture(env, inj, res, now+dt, step+1, snap, outage, controlledTicks, overTicks, trackErrSum)
-		}
-	}
-
-	finalize(res, env, controlledTicks, overTicks, trackErrSum)
-	status(scn.DurationS, snap.MeasuredTotalW, snap.CBPowerW, snap.UPSPowerW, true)
-	res.Telemetry = opts.Metrics.Snapshot()
-	return res, nil
+	return r.Finish(), nil
 }
 
 // BuildEnv assembles the rack, breaker, UPS, interactive trace and batch
