@@ -203,6 +203,18 @@ func (a *Allocator) SetPhaseOffsetS(s float64) {
 // Config returns the allocator configuration.
 func (a *Allocator) Config() Config { return a.cfg }
 
+// BurstAnchorS returns the absolute simulation time the current burst's
+// periodic schedule is anchored at (StartBurst's now), or 0 when no burst is
+// active. PCb's square wave runs on mod(now − anchor + PhaseOffsetS, cycle),
+// so a consumer expressing offsets in an absolute t=0 frame — the cluster
+// control link's slot assignments — must add the anchor before SetPhaseOffsetS.
+func (a *Allocator) BurstAnchorS() float64 {
+	if !a.started {
+		return 0
+	}
+	return a.burstStart
+}
+
 // StartBurst begins a sprint of the given expected duration at time now.
 // idleW is the design-model power of unassigned cores; the initial
 // interactive reserve seeds the budget until the first adaptation.

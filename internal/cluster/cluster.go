@@ -152,6 +152,13 @@ func (c Config) allocConfig() alloc.Config {
 // funds, where bonus = rated·(degree−1) is one rack's overload surcharge.
 func (c Config) linkSetup() (link.Config, link.CoordConfig, error) {
 	acfg := c.allocConfig()
+	// The slot-capacity derivation below divides by the overload bonus
+	// rated·(degree−1); validate the allocator config first so a degenerate
+	// override (OverloadDegree ≤ 1 ⇒ bonus ≤ 0) reports its real cause
+	// instead of a misleading SlotCapacity error from int(±Inf).
+	if err := acfg.Validate(); err != nil {
+		return link.Config{}, link.CoordConfig{}, fmt.Errorf("cluster: allocator config: %w", err)
+	}
 	proto := c.Link.Protocol
 	if proto == (link.Config{}) {
 		proto = link.DefaultConfig()

@@ -71,6 +71,7 @@ type linkedPolicy struct {
 	inner  *core.SprintCon
 	client *link.Client
 	ratedW float64
+	cycleS float64
 }
 
 func (lp *linkedPolicy) Name() string { return lp.inner.Name() + "-linked" }
@@ -85,7 +86,22 @@ func (lp *linkedPolicy) Tick(env *sim.Env, snap sim.Snapshot) float64 {
 		// The degraded fallback freezes the schedule phase: overloads are
 		// suspended anyway, and keeping the last offset means a re-sync to
 		// an unchanged slot resumes seamlessly.
-		lp.inner.SetPhaseOffset(b.PhaseOffsetS)
+		//
+		// Grant offsets are in the coordinator's absolute frame (schedule
+		// anchored at t=0), but a fail-safe controller restart re-anchors
+		// the allocator's square wave at the restart time. Fold the live
+		// anchor into the offset so the rack's overload window lands in its
+		// assigned slot whatever the anchor — otherwise a restarted rack
+		// overloads shifted by (restart time mod cycle), on top of other
+		// racks' slots, and the feeder exceeds the SlotCapacity bound.
+		off := b.PhaseOffsetS
+		if anchor := lp.inner.ScheduleAnchorS(); anchor != 0 {
+			off = math.Mod(off+anchor, lp.cycleS)
+			if off < 0 {
+				off += lp.cycleS
+			}
+		}
+		lp.inner.SetPhaseOffset(off)
 	}
 	lp.inner.SetExternalBudget(core.ExternalBudget{
 		Active:        true,
@@ -182,7 +198,7 @@ func RunLinked(cfg Config) (*LinkedResult, error) {
 		inners[i] = inner
 		b := boot[i]
 		clients[i] = link.NewClient(proto, i, &b)
-		lp := &linkedPolicy{inner: inner, client: clients[i], ratedW: scn.Breaker.RatedPower}
+		lp := &linkedPolicy{inner: inner, client: clients[i], ratedW: scn.Breaker.RatedPower, cycleS: proto.CycleS}
 		var opts sim.RunOptions
 		if cfg.Link.RackOptions != nil {
 			opts = cfg.Link.RackOptions(i)
@@ -247,10 +263,13 @@ func RunLinked(cfg Config) (*LinkedResult, error) {
 			}
 		}
 
-		// 4. Heartbeats out (a dead controller process sends none), then
-		// due beats into the coordinator, then fresh grants onto the wire.
+		// 4. Heartbeats out (a dead controller process sends none, and
+		// neither does a dark rack — a rack in a power outage must look
+		// unreachable so the coordinator's timeout path reclaims its slot),
+		// then due beats into the coordinator, then fresh grants onto the
+		// wire.
 		for i, c := range clients {
-			if runners[i].ControllerDead() {
+			if runners[i].ControllerDead() || runners[i].Dark() {
 				continue
 			}
 			if hb, ok := c.MaybeBeat(now); ok {

@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"math"
+	"strings"
 	"testing"
 
+	"sprintcon/internal/alloc"
 	"sprintcon/internal/checkpoint"
 	"sprintcon/internal/faults"
 	"sprintcon/internal/link"
@@ -67,6 +69,11 @@ func TestLinkedConfigValidation(t *testing.T) {
 		{"partition target beyond rack count", func(c *Config) {
 			c.Scenario.Faults.Faults = append(c.Scenario.Faults.Faults, partitionAt(9, 100, 50))
 		}},
+		{"alloc override without overload headroom", func(c *Config) {
+			acfg := alloc.DefaultConfig(c.Scenario.Breaker.RatedPower, c.Scenario.Breaker.TripBudget())
+			acfg.OverloadDegree = 1 // bonus = rated·(degree−1) = 0
+			c.SprintCon.AllocOverride = &acfg
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -82,6 +89,15 @@ func TestLinkedConfigValidation(t *testing.T) {
 	}
 	if err := linkedConfig().Validate(); err != nil {
 		t.Fatalf("base linked config invalid: %v", err)
+	}
+	// The degenerate allocator override must be reported as its real cause —
+	// the overload degree — not as a misleading derived-slot-capacity error.
+	degenerate := linkedConfig()
+	dcfg := alloc.DefaultConfig(degenerate.Scenario.Breaker.RatedPower, degenerate.Scenario.Breaker.TripBudget())
+	dcfg.OverloadDegree = 1
+	degenerate.SprintCon.AllocOverride = &dcfg
+	if err := degenerate.Validate(); err == nil || !strings.Contains(err.Error(), "OverloadDegree") {
+		t.Fatalf("want an OverloadDegree error for a degree-1 override, got %v", err)
 	}
 	// Link-scoped faults are valid in a linked cluster config but must be
 	// rejected by the same scenario in single-rack form (the injector has no
@@ -419,5 +435,48 @@ func TestLinkedCoordinatorCrashRecovers(t *testing.T) {
 	}
 	if lres.CBTrips != 0 || lres.FeederTrips != 0 {
 		t.Fatalf("long coordinator outage unsafe: trips=%d feeder=%d", lres.CBTrips, lres.FeederTrips)
+	}
+}
+
+// A fail-safe controller restart (crash with no usable checkpoint) re-announces
+// the burst anchored at the restart time instead of t=0 — but the coordinator's
+// slot assignments live in the t=0 frame. The linked policy must translate the
+// granted offset into the allocator's live anchor frame: without that, the
+// restarted rack overloads shifted by (restart time mod cycle), lands on other
+// racks' slots, and the feeder sees more than SlotCapacity concurrent
+// overloads.
+func TestLinkedFailSafeRestartKeepsSlotPhase(t *testing.T) {
+	cfg := linkedConfig()
+	// Crash every controller at t=208 — deliberately not cycle-aligned — with
+	// an immediate restart. Racks 1–3 restore from fresh snapshots (schedule
+	// anchor preserved); rack 0 has no checkpoint store, so its restore takes
+	// the fail-safe path and re-anchors its schedule at the restart time.
+	cfg.Scenario.Faults.Faults = []faults.Fault{
+		{Kind: faults.ControllerCrash, OnsetS: 208, DurationS: 1, Severity: 0},
+	}
+	cfg.Link.RackOptions = func(rack int) sim.RunOptions {
+		if rack == 0 {
+			return sim.RunOptions{}
+		}
+		return sim.RunOptions{Checkpoint: &sim.CheckpointOptions{Store: checkpoint.NewMemStore()}}
+	}
+
+	res, err := RunLinked(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fail-safe restore dropped rack 0's lease; it must have fallen back
+	// and re-synced when the coordinator's next refresh grant landed.
+	if res.Clients[0].Expiries == 0 || res.Clients[0].Resyncs == 0 {
+		t.Fatalf("rack 0 never cycled degraded→coordinated after its fail-safe restart: %+v", res.Clients[0])
+	}
+	// And its post-restart overloads landed in its assigned slot: the feeder
+	// never saw more than SlotCapacity concurrent overloads.
+	if res.CBTrips != 0 || res.FeederTrips != 0 {
+		t.Fatalf("fail-safe restart run tripped: rack=%d feeder=%d", res.CBTrips, res.FeederTrips)
+	}
+	if res.FeederExceedFrac > 0.01 {
+		t.Fatalf("feeder exceeded its budget %.1f%% of ticks: the restarted rack overloads outside its assigned slot",
+			100*res.FeederExceedFrac)
 	}
 }

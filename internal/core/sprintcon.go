@@ -259,11 +259,26 @@ type ExternalBudget struct {
 func (s *SprintCon) SetExternalBudget(b ExternalBudget) { s.ext = b }
 
 // SetPhaseOffset re-phases the allocator's overload schedule (the control
-// link's slot re-assignment path). Safe to call every tick.
+// link's slot re-assignment path). Safe to call every tick. The offset is in
+// the allocator's burst-anchored frame; see ScheduleAnchorS for translating
+// an absolute (t=0 anchored) offset.
 func (s *SprintCon) SetPhaseOffset(offsetS float64) {
 	if s.allocator != nil {
 		s.allocator.SetPhaseOffsetS(offsetS)
 	}
+}
+
+// ScheduleAnchorS returns the absolute simulation time the allocator's
+// periodic overload schedule is anchored at: 0 after a normal t=0 Start, the
+// restart time after a fail-safe restore re-announces the burst. Consumers
+// that assign overload slots in an absolute frame (the cluster control link)
+// must fold this anchor into the offset they impose, or a restarted rack
+// would overload in a window shifted from its assigned slot.
+func (s *SprintCon) ScheduleAnchorS() float64 {
+	if s.allocator == nil {
+		return 0
+	}
+	return s.allocator.BurstAnchorS()
 }
 
 // Start implements sim.Policy.

@@ -88,26 +88,35 @@ func (c *Client) Offer(now float64, l Lease) bool {
 	hadLease := c.hasLease
 	wasOverloading := hadLease && !c.degraded && c.lease.AllowOverload &&
 		scheduleOverloading(c.cfg, prevOffset, now)
+	// A grant re-phases when it assigns a slot different from the live
+	// lease's — or when there is no live lease to compare against (first
+	// grant after a fail-safe restart dropped it), where the prior slot is
+	// unknown and both guards must assume the worst.
+	rephased := !hadLease || l.PhaseOffsetS != prevOffset
 	c.lease = l
 	c.hasLease = true
 	c.stats.Accepted++
 	// Re-phase guard: if the new slot is already mid-window and the rack
 	// wasn't overloading, joining late would overlap the tail of this
 	// window with whoever owns the next slot. Sit this window out.
-	if hadLease && l.PhaseOffsetS != prevOffset && !wasOverloading &&
+	if rephased && !wasOverloading &&
 		l.AllowOverload && scheduleOverloading(c.cfg, l.PhaseOffsetS, now) {
 		phase := math.Mod(now+l.PhaseOffsetS, c.cfg.CycleS)
 		if phase < 0 {
 			phase += c.cfg.CycleS
 		}
-		c.suppressUntilS = now + (c.cfg.OverloadS - phase)
+		if until := now + (c.cfg.OverloadS - phase); until > c.suppressUntilS {
+			c.suppressUntilS = until
+		}
 	}
 	// Recovery guard: a re-phase to an earlier slot would start the next
 	// overload window less than a full recovery period after the last one,
 	// leaving the breaker's thermal accumulator partly charged. Withhold
 	// overload until CycleS−OverloadS has elapsed since the rack last held
-	// an overload window, whatever slot the new lease assigns.
-	if hadLease && l.PhaseOffsetS != prevOffset && l.AllowOverload && c.everOverloaded {
+	// an overload window, whatever slot the new lease assigns. (For a grant
+	// that keeps the slot this is a no-op: the next scheduled window is
+	// never sooner than that.)
+	if rephased && l.AllowOverload && c.everOverloaded {
 		if until := c.lastOverloadEndS + (c.cfg.CycleS - c.cfg.OverloadS); until > c.suppressUntilS {
 			c.suppressUntilS = until
 		}
@@ -206,11 +215,13 @@ func (c *Client) MaybeBeat(now float64) (Heartbeat, bool) {
 
 // FailSafe drops the lease outright — the rack's controller restarted
 // without link state (e.g. a checkpoint predating the link) and must fall
-// back until the coordinator re-grants.
+// back until the coordinator re-grants. The overload-entry guard state
+// (suppression window, overload history) survives: the next accepted grant
+// re-runs both entry guards as if it were a re-phase, so a restart cannot be
+// used to join a window mid-flight or skip the recovery interval.
 func (c *Client) FailSafe(now float64) {
 	c.hasLease = false
 	c.lease = Lease{RackID: c.id}
-	c.suppressUntilS = 0
 }
 
 // ID returns the rack id this client serves.

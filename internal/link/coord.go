@@ -17,9 +17,11 @@ type CoordConfig struct {
 }
 
 // NumSlots returns how many non-overlapping overload windows fit in one
-// cycle.
+// cycle. The quotient is floored with a tolerance: plain truncation turns
+// float-representation error on exact ratios (0.3/0.1 = 2.999…) into a lost
+// slot and a spurious Validate rejection.
 func (c CoordConfig) NumSlots() int {
-	return int(c.Link.CycleS / c.Link.OverloadS)
+	return int(math.Floor(c.Link.CycleS/c.Link.OverloadS + 1e-9))
 }
 
 // Validate reports structural errors: the link config itself, and whether

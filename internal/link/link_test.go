@@ -540,3 +540,76 @@ func TestClientStateRoundTrip(t *testing.T) {
 		t.Fatal("NaN suppress-until accepted")
 	}
 }
+
+// The first grant accepted after a fail-safe restart must re-run both
+// overload-entry guards: FailSafe drops the lease, and guards gated on
+// holding one would let a restarted rack join a window mid-flight or
+// re-overload before a full recovery period has elapsed.
+func TestClientFailSafeReappliesEntryGuards(t *testing.T) {
+	cfg := testCfg()
+	c := NewClient(cfg, 0, &Lease{RackID: 0, Version: 1, IssuedAtS: 0, TTLS: cfg.TTLS, AllowOverload: true, PhaseOffsetS: 0})
+	v := uint64(2)
+	refresh := func(now, offset float64) {
+		t.Helper()
+		if !c.Offer(now, Lease{RackID: 0, Version: v, IssuedAtS: now, TTLS: cfg.TTLS, AllowOverload: true, PhaseOffsetS: offset}) {
+			t.Fatalf("grant at t=%g rejected", now)
+		}
+		v++
+	}
+	// March through the rack's slot-0 window [0,150): overload history with
+	// the last overload second at t=140.
+	for now := 0.0; now < 150; now += 10 {
+		refresh(now, 0)
+		if b := c.Advance(now, 1); b.Degraded || !b.AllowOverload {
+			t.Fatalf("own window t=%g: %+v", now, b)
+		}
+	}
+	// The controller restarts fail-safe at t=200: the lease is dropped and
+	// the client falls back.
+	c.FailSafe(200)
+	if b := c.Advance(200, 1); !b.Degraded {
+		t.Fatal("client not degraded after FailSafe")
+	}
+	// Re-grant at t=210 into slot 1, whose window [150,300) is mid-flight:
+	// the mid-window guard must keep the rack out of it, and the recovery
+	// guard must hold overload until t=440 — CycleS−OverloadS after the
+	// rack's last overload second.
+	slot1 := cfg.CycleS - cfg.OverloadS
+	refresh(210, slot1)
+	if b := c.Advance(210, 1); b.Degraded || b.AllowOverload {
+		t.Fatalf("mid-window entry after fail-safe not suppressed: %+v", b)
+	}
+	refresh(295, slot1)
+	if b := c.Advance(295, 1); b.AllowOverload {
+		t.Fatal("suppression lifted before the in-flight window ended")
+	}
+	// The window is over at t=320, but recovery from the pre-restart
+	// overload still pends.
+	refresh(320, slot1)
+	if b := c.Advance(320, 1); b.AllowOverload {
+		t.Fatal("overload allowed 180 s into a 300 s recovery")
+	}
+	refresh(435, slot1)
+	if b := c.Advance(435, 1); b.AllowOverload {
+		t.Fatal("overload allowed just before recovery completes")
+	}
+	refresh(445, slot1)
+	if b := c.Advance(445, 1); !b.AllowOverload {
+		t.Fatal("overload still suppressed after a full recovery period")
+	}
+}
+
+// NumSlots must survive float-representation error on exact ratios: 0.3/0.1
+// evaluates to 2.999… in binary floating point, and plain truncation would
+// lose a slot and make Validate reject a configuration that fits.
+func TestNumSlotsToleratesFloatRatio(t *testing.T) {
+	cfg := testCfg()
+	cfg.OverloadS, cfg.CycleS = 0.1, 0.3
+	cc := CoordConfig{Link: cfg, NumRacks: 3, SlotCapacity: 1}
+	if n := cc.NumSlots(); n != 3 {
+		t.Fatalf("NumSlots = %d, want 3 (0.3/0.1 truncates to 2 without a tolerance)", n)
+	}
+	if err := cc.Validate(); err != nil {
+		t.Fatalf("3 racks × 1 per slot fit 3 slots, but Validate rejected: %v", err)
+	}
+}

@@ -143,6 +143,11 @@ func (r *Runner) Done() bool { return r.step >= r.steps }
 // rack's controller process down (always false without checkpointing).
 func (r *Runner) ControllerDead() bool { return r.ckr != nil && r.ckr.ctlDead }
 
+// Dark reports whether the rack is currently in a power outage (breaker open
+// with the UPS exhausted): nothing executes, so a dark rack can neither send
+// heartbeats nor act on grants.
+func (r *Runner) Dark() bool { return r.outage }
+
 // LastCBPowerW returns the breaker-conducted power of the most recent tick
 // (0 before the first). Lock-step cluster runs sum this across racks into
 // the feeder draw without touching the plant's noise streams.
