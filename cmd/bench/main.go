@@ -10,6 +10,9 @@
 //	                  perturbed problem (sweeps are deterministic)
 //	tick_loop       — steady-state SprintCon tick: allocations per tick
 //	                  (must be 0 with telemetry off) and ns/tick
+//	trace_overhead  — the same tick loop with the observability plane
+//	                  detached vs attached: allocations per tick (must stay
+//	                  0 detached) and the on/off wall-time ratio
 //	mpc_sweeps      — mean QP sweeps per MPC solve over the default
 //	                  closed-loop run, warm vs the pre-optimization
 //	                  legacy path
@@ -45,6 +48,7 @@ import (
 	"sprintcon/internal/cluster"
 	"sprintcon/internal/core"
 	"sprintcon/internal/mathx"
+	"sprintcon/internal/obs"
 	"sprintcon/internal/qp"
 	"sprintcon/internal/sim"
 	"sprintcon/internal/telemetry"
@@ -87,6 +91,8 @@ func main() {
 	rep.Scenarios = append(rep.Scenarios, qpWarmVsCold())
 	fmt.Println("bench: tick_loop")
 	rep.Scenarios = append(rep.Scenarios, tickLoop(*quick))
+	fmt.Println("bench: trace_overhead")
+	rep.Scenarios = append(rep.Scenarios, traceOverhead(*quick))
 	fmt.Println("bench: mpc_sweeps")
 	rep.Scenarios = append(rep.Scenarios, mpcSweeps(*quick))
 	fmt.Println("bench: cluster_sweep")
@@ -231,6 +237,59 @@ func tickLoop(quick bool) Scenario {
 	return Scenario{Name: "tick_loop", Metrics: map[string]float64{
 		"allocs_per_tick": allocs,
 		"ns_per_tick":     float64(wall.Nanoseconds()) / float64(n),
+	}}
+}
+
+// traceOverhead measures what the observability plane costs on the tick
+// path: the same steady-state loop as tick_loop, once with the plane
+// disabled (a nil *obs.Plane — the tick must stay allocation-free) and once
+// attached (span events, rollup pushes and detectors live). The on/off wall
+// ratio is trace_overhead; both sides run in the same process, so the ratio
+// survives machine changes.
+func traceOverhead(quick bool) Scenario {
+	run := func(plane *obs.Plane) (allocs, nsPerTick float64) {
+		scn := sim.DefaultScenario()
+		env, err := sim.BuildEnv(scn)
+		if err != nil {
+			fatal(err)
+		}
+		env.Obs = plane
+		s := core.New(core.DefaultConfig())
+		if err := s.Start(env, scn); err != nil {
+			fatal(err)
+		}
+		snap := sim.Snapshot{Dt: scn.DtS, UPSSoC: env.UPS.SoC()}
+		now := 0.0
+		tick := func() {
+			snap.Now = now
+			snap.MeasuredTotalW = env.Rack.MeasuredPower()
+			snap.CBPowerW = env.Rack.TruePower()
+			s.Tick(env, snap)
+			env.Rack.AdvanceBatch(scn.DtS, now)
+			now += scn.DtS
+		}
+		for i := 0; i < 120; i++ {
+			tick()
+		}
+		n := 600
+		if quick {
+			n = 200
+		}
+		allocs = testing.AllocsPerRun(n, tick)
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			tick()
+		}
+		return allocs, float64(time.Since(t0).Nanoseconds()) / float64(n)
+	}
+	offAllocs, offNs := run(nil)
+	onAllocs, onNs := run(obs.NewPlane(0, obs.DefaultDetectorConfig()))
+	return Scenario{Name: "trace_overhead", Metrics: map[string]float64{
+		"allocs_per_tick":     offAllocs, // zero-alloc contract with obs off
+		"allocs_per_tick_obs": onAllocs,  // informational: span growth amortizes
+		"obs_off_ns":          offNs,
+		"obs_on_ns":           onNs,
+		"trace_overhead":      onNs / math.Max(1, offNs),
 	}}
 }
 

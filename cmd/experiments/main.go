@@ -8,7 +8,7 @@
 //
 // Experiments: fig1 fig2 fig3 fig5 fig6 fig7 fig8a fig8b headline
 // ablation-controller ablation-schedule ablation-ups sensitivity qos
-// daily-cost faults partition telemetry all.
+// daily-cost faults partition telemetry obs all.
 //
 // -cpuprofile and -memprofile write pprof profiles of the selected
 // experiment run (the usual entry point for optimizing the simulator).
@@ -130,6 +130,8 @@ func main() {
 		print1(experiments.PartitionMatrix())
 	case "telemetry":
 		print1(experiments.TelemetrySummary())
+	case "obs":
+		print1(experiments.AlertCoverage())
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}

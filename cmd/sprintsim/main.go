@@ -19,13 +19,17 @@
 // (link-loss, link-delay, link-dup, link-partition, coordinator-crash);
 // -naive-link swaps in the always-trust-last-grant strawman client and
 // -feeder-budget overrides the feeder provisioning. Cluster mode prints a
-// feeder/link summary and does not take the single-rack observability and
-// checkpoint flags.
+// feeder/link summary; with -link it also takes -trace-spans and
+// -metrics-addr (which adds a /status/cluster health document), but not the
+// single-rack checkpoint/CSV/decision-trace flags.
 //
 // Observability: -trace-jsonl streams one structured decision record per
-// control period; -metrics-addr serves Prometheus /metrics, a /status JSON
-// snapshot of the running simulation and net/http/pprof; -cpuprofile and
-// -memprofile write pprof profiles of the run itself.
+// control period; -trace-spans records the causal span trace (lease
+// lifecycle, control periods) as JSONL and prints the anomaly detectors'
+// alerts — -read-spans pretty-prints a recorded trace as a causal tree;
+// -metrics-addr serves Prometheus /metrics, a /status JSON snapshot of the
+// running simulation and net/http/pprof; -cpuprofile and -memprofile write
+// pprof profiles of the run itself.
 package main
 
 import (
@@ -42,6 +46,7 @@ import (
 	"sprintcon/internal/cluster"
 	"sprintcon/internal/core"
 	"sprintcon/internal/faults"
+	"sprintcon/internal/obs"
 	"sprintcon/internal/seriesio"
 	"sprintcon/internal/sim"
 	"sprintcon/internal/telemetry"
@@ -97,8 +102,10 @@ func main() {
 		feederBudget = flag.Float64("feeder-budget", 0, "cluster mode: feeder budget in W (0 = rated sum plus funded overload slots)")
 		linkSeed     = flag.Int64("link-seed", 0, "cluster mode: transport fault-randomness seed")
 
-		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /status JSON and /debug/pprof on this address (e.g. :9090)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /status JSON, /status/obs health and /debug/pprof on this address (e.g. :9090)")
 		traceJSONL  = flag.String("trace-jsonl", "", "write one JSON decision record per control period to this file")
+		traceSpans  = flag.String("trace-spans", "", "write the run's causal span trace (JSONL) to this file; enables the observability plane")
+		readSpans   = flag.String("read-spans", "", "print a recorded span trace as an indented causal tree and exit")
 		holdServer  = flag.Bool("hold", false, "with -metrics-addr: keep serving after the run until interrupted")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile after the run to this file")
@@ -111,6 +118,19 @@ func main() {
 		if err := sim.DefaultScenario().WriteJSON(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
+		return
+	}
+	if *readSpans != "" {
+		f, err := os.Open(*readSpans)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spans, err := telemetry.ReadSpans(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		telemetry.FormatSpanTree(os.Stdout, spans)
 		return
 	}
 
@@ -149,13 +169,17 @@ func main() {
 	}
 
 	if *racks > 0 {
-		if *csvPath != "" || *ckptPath != "" || *replay != "" || *traceJSONL != "" || *metricsAddr != "" {
-			log.Fatal("cluster mode (-racks) does not take -csv, -checkpoint, -replay, -trace-jsonl or -metrics-addr")
+		if *csvPath != "" || *ckptPath != "" || *replay != "" || *traceJSONL != "" {
+			log.Fatal("cluster mode (-racks) does not take -csv, -checkpoint, -replay or -trace-jsonl")
+		}
+		if (*metricsAddr != "" || *traceSpans != "") && !*linkOn {
+			log.Fatal("cluster-mode -metrics-addr and -trace-spans ride the control link: give -link")
 		}
 		if *policyName != "sprintcon" {
 			log.Fatalf("cluster mode runs the sprintcon policy per rack; -policy %s is single-rack only", *policyName)
 		}
-		runCluster(scn, *racks, *linkOn, *naiveLink, *feederBudget, *linkSeed, *unhardened)
+		runCluster(scn, *racks, *linkOn, *naiveLink, *feederBudget, *linkSeed, *unhardened,
+			*traceSpans, *metricsAddr, *holdServer)
 		return
 	}
 	if *linkOn || *naiveLink {
@@ -172,6 +196,14 @@ func main() {
 	var opts sim.RunOptions
 	if *metricsAddr != "" || *traceJSONL != "" || *replay != "" {
 		opts.Metrics = telemetry.NewRegistry()
+	}
+	var plane *obs.Plane
+	if *traceSpans != "" || *metricsAddr != "" {
+		plane = obs.NewPlane(0, obs.DefaultDetectorConfig())
+		opts.Obs = plane
+		if opts.Metrics != nil {
+			plane.Bind(opts.Metrics, "obs_rack0_")
+		}
 	}
 
 	// Crash safety: -checkpoint persists snapshots, -restore resumes from
@@ -224,7 +256,11 @@ func main() {
 	var stopServer func() error
 	if *metricsAddr != "" {
 		opts.Status = telemetry.NewRunStatus()
-		bound, stop, err := telemetry.Serve(*metricsAddr, telemetry.Handler(opts.Metrics, opts.Status))
+		var extra []telemetry.Endpoint
+		if plane != nil {
+			extra = append(extra, telemetry.Endpoint{Path: "/status/obs", Doc: func() any { return plane.Snapshot() }})
+		}
+		bound, stop, err := telemetry.Serve(*metricsAddr, telemetry.Handler(opts.Metrics, opts.Status, extra...))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -269,6 +305,14 @@ func main() {
 		if err := diffReplay(recorded, replayBuf); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if plane != nil {
+		if *traceSpans != "" {
+			if err := writeSpanFile(*traceSpans, plane.Spans()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		printAlerts(plane.Alerts())
 	}
 
 	printSummary(res)
@@ -365,12 +409,46 @@ func diffReplay(recorded []telemetry.Decision, buf *bytes.Buffer) error {
 	return nil
 }
 
+// writeSpanFile persists a span trace as JSONL and reports the count.
+func writeSpanFile(path string, spans []telemetry.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := telemetry.WriteSpans(f, spans)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("span trace: %w", werr)
+	}
+	fmt.Printf("span trace (%d spans) written to %s (inspect with -read-spans)\n", len(spans), path)
+	return nil
+}
+
+// printAlerts lists the anomaly detectors' structured alerts.
+func printAlerts(alerts []obs.Alert) {
+	if len(alerts) == 0 {
+		fmt.Println("alerts:               none")
+		return
+	}
+	fmt.Printf("alerts:               %d\n", len(alerts))
+	for _, a := range alerts {
+		span := ""
+		if a.SpanID != 0 {
+			span = fmt.Sprintf(" span=%d", a.SpanID)
+		}
+		fmt.Printf("  [t=%4.0fs] rack %d %s: %s%s\n", a.AtS, a.Rack, a.Detector, a.Detail, span)
+	}
+}
+
 // runCluster executes the multi-rack feeder group: the static phase-offset
 // schedule by default, the lease-based control link with -link. The feeder
 // budget defaults to the provisioning rule of cluster.DefaultConfig scaled
 // to the group — every rack's rated draw plus ⌈N·overload/cycle⌉ funded
 // overload bonuses.
-func runCluster(scn sim.Scenario, n int, linkOn, naive bool, budgetW float64, linkSeed int64, unhardened bool) {
+func runCluster(scn sim.Scenario, n int, linkOn, naive bool, budgetW float64, linkSeed int64, unhardened bool,
+	traceSpans, metricsAddr string, hold bool) {
 	cfg := cluster.DefaultConfig()
 	cfg.NumRacks = n
 	cfg.Scenario = scn
@@ -395,11 +473,54 @@ func runCluster(scn sim.Scenario, n int, linkOn, naive bool, budgetW float64, li
 	cfg.Link.Enabled = true
 	cfg.Link.NaiveTrustLastGrant = naive
 	cfg.Link.Seed = linkSeed
+
+	// The observability plane rides the link: spans need the lease grant IDs
+	// and the health rollups need the per-rack planes RunLinked attaches.
+	var oc *obs.Cluster
+	if traceSpans != "" || metricsAddr != "" {
+		oc = obs.NewCluster(cfg.NumRacks, obs.DefaultDetectorConfig())
+		cfg.Link.Obs = oc
+	}
+	var stopServer func() error
+	if metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		cfg.Link.Metrics = reg
+		for i, p := range oc.Racks {
+			p.Bind(reg, fmt.Sprintf("obs_rack%d_", i))
+		}
+		bound, stop, err := telemetry.Serve(metricsAddr, telemetry.Handler(reg, nil,
+			telemetry.Endpoint{Path: "/status/cluster", Doc: oc.Doc}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		stopServer = stop
+		fmt.Printf("serving /metrics, /status/cluster, /debug/pprof on http://%s\n", bound)
+	}
+
 	res, err := cluster.RunLinked(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if traceSpans != "" {
+		if err := writeSpanFile(traceSpans, oc.Spans()); err != nil {
+			log.Fatal(err)
+		}
+	}
 	printClusterSummary(&cfg, &res.Result, res)
+	if oc != nil {
+		printAlerts(oc.Alerts())
+	}
+	if stopServer != nil {
+		if hold {
+			fmt.Println("run finished; still serving (interrupt to exit)")
+			ch := make(chan os.Signal, 1)
+			signal.Notify(ch, os.Interrupt)
+			<-ch
+		}
+		if err := stopServer(); err != nil {
+			log.Print(err)
+		}
+	}
 }
 
 func printClusterSummary(cfg *cluster.Config, res *cluster.Result, linked *cluster.LinkedResult) {

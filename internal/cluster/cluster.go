@@ -26,6 +26,7 @@ import (
 	"sprintcon/internal/alloc"
 	"sprintcon/internal/core"
 	"sprintcon/internal/link"
+	"sprintcon/internal/obs"
 	"sprintcon/internal/sim"
 	"sprintcon/internal/stats"
 	"sprintcon/internal/telemetry"
@@ -80,6 +81,11 @@ type LinkConfig struct {
 	// RackOptions, when non-nil, supplies per-rack run options — the hook
 	// for per-rack checkpoint stores in crash/restore tests.
 	RackOptions func(rack int) sim.RunOptions
+	// Obs, when non-nil, is the cluster's observability plane: RunLinked
+	// attaches one plane per rack (spans, rollups, detectors) and the
+	// coordinator's, all merged through obs.Cluster. It must hold at
+	// least NumRacks rack planes.
+	Obs *obs.Cluster
 }
 
 // MaxRacks bounds NumRacks: each rack is a full seeded simulation holding

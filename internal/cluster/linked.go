@@ -182,6 +182,14 @@ func RunLinked(cfg Config) (*LinkedResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Link.Obs != nil {
+		if len(cfg.Link.Obs.Racks) < cfg.NumRacks {
+			return nil, fmt.Errorf("cluster: observability plane has %d rack planes for %d racks", len(cfg.Link.Obs.Racks), cfg.NumRacks)
+		}
+		// Attach before Bootstrap so the bootstrap grants are spanned and
+		// their IDs reach the clients' initial leases.
+		coord.Attach(cfg.Link.Obs.Coord)
+	}
 	rackPlan, linkPlan := cfg.Scenario.Faults.Split()
 	rackScn := cfg.Scenario
 	rackScn.Faults = rackPlan
@@ -202,6 +210,10 @@ func RunLinked(cfg Config) (*LinkedResult, error) {
 		var opts sim.RunOptions
 		if cfg.Link.RackOptions != nil {
 			opts = cfg.Link.RackOptions(i)
+		}
+		if cfg.Link.Obs != nil {
+			clients[i].Attach(cfg.Link.Obs.Racks[i])
+			opts.Obs = cfg.Link.Obs.Racks[i]
 		}
 		r, err := sim.NewRunner(scn, lp, opts)
 		if err != nil {
@@ -356,6 +368,15 @@ func registerLinkMetrics(cfg Config, out *LinkedResult, clients []*link.Client, 
 	m.Counter("link_beats_lost_total", "heartbeats dropped by loss faults, partitions or coordinator downtime").
 		Add(float64(out.Transport.BeatsLost + out.Transport.BeatsPartition))
 	m.Counter("link_resyncs_total", "degraded→coordinated recoveries across racks").Add(float64(out.Resyncs()))
+	m.Counter("link_probes_total", "re-sync probes issued to unreachable racks").Add(float64(out.Coord.Probes))
+	m.Counter("link_repacks_total", "overload slot-assignment changes").Add(float64(out.Coord.Repacks))
+	m.Counter("link_presumed_degraded_total", "coordinator transitions into presumed-degraded").Add(float64(out.Coord.Presumed))
+	var expiries int
+	for _, c := range out.Clients {
+		expiries += c.Expiries
+	}
+	m.Counter("link_expiries_total", "lease expiries (degraded-mode entries) across racks").Add(float64(expiries))
+	m.Gauge("link_regrant_backoff_peak_seconds", "largest re-grant retry backoff reached").Set(out.Coord.PeakBackoffS)
 	m.Gauge("link_degraded_seconds", "total rack-seconds spent in the degraded standalone fallback").Set(out.DegradedS())
 	endS := float64(steps) * dt
 	age := 0.0

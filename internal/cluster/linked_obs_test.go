@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"sprintcon/internal/faults"
+	"sprintcon/internal/obs"
+	"sprintcon/internal/telemetry"
+)
+
+// obsPartitionConfig is the span-test scenario: rack 0 cut off long enough
+// to expire its lease, degrade, and resync after the heal.
+func obsPartitionConfig() Config {
+	cfg := linkedConfig()
+	cfg.Scenario.Faults.Faults = []faults.Fault{partitionAt(0, 10, 690)}
+	return cfg
+}
+
+func runWithSpans(t *testing.T, cfg Config) (*LinkedResult, *obs.Cluster) {
+	t.Helper()
+	oc := obs.NewCluster(cfg.NumRacks, obs.DefaultDetectorConfig())
+	cfg.Link.Obs = oc
+	res, err := RunLinked(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, oc
+}
+
+// TestLinkedSpanTraceDeterministic is the tentpole's diffability guarantee:
+// two identical seeded runs — including the parallel rack stepping — emit
+// byte-identical merged span traces.
+func TestLinkedSpanTraceDeterministic(t *testing.T) {
+	render := func() []byte {
+		_, oc := runWithSpans(t, obsPartitionConfig())
+		var buf bytes.Buffer
+		if err := telemetry.WriteSpans(&buf, oc.Spans()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if len(a) == 0 {
+		t.Fatal("linked run emitted no spans")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("span traces differ between identical runs (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestLinkedSpanCausality walks the partition run's trace and checks the
+// causal chain the plane promises: every lease accept points at a
+// coordinator grant/probe, every degraded span points at the accept of the
+// lease that expired, and every degraded episode that healed was closed by
+// a resync child.
+func TestLinkedSpanCausality(t *testing.T) {
+	_, oc := runWithSpans(t, obsPartitionConfig())
+	spans := oc.Spans()
+	byID := make(map[uint64]telemetry.Span, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	kinds := make(map[string]int)
+	for _, s := range spans {
+		kinds[s.Kind]++
+		switch s.Kind {
+		case "lease-accept":
+			p, ok := byID[s.Parent]
+			if !ok || (p.Kind != "lease-grant" && p.Kind != "lease-probe") {
+				t.Fatalf("accept span %d parent %d is %q, want a coordinator grant/probe", s.ID, s.Parent, p.Kind)
+			}
+			if p.LeaseVersion != s.LeaseVersion {
+				t.Fatalf("accept v%d linked to grant v%d", s.LeaseVersion, p.LeaseVersion)
+			}
+		case "degraded":
+			p, ok := byID[s.Parent]
+			if !ok || p.Kind != "lease-accept" {
+				t.Fatalf("degraded span %d parent %d is %q, want the expired lease's accept", s.ID, s.Parent, p.Kind)
+			}
+			if s.Open() {
+				t.Fatalf("degraded span %d still open after the partition healed", s.ID)
+			}
+		case "lease-resync":
+			if _, ok := byID[s.Parent]; !ok {
+				t.Fatalf("resync span %d orphaned (parent %d)", s.ID, s.Parent)
+			}
+		case "control-period":
+			// Coordinated periods anchor to the live accept; degraded-mode
+			// periods run without a lease and are roots.
+			if s.Parent != 0 {
+				if p := byID[s.Parent]; p.Kind != "lease-accept" {
+					t.Fatalf("control-period %d anchored to %q", s.ID, p.Kind)
+				}
+			}
+		}
+	}
+	for _, want := range []string{"lease-grant", "lease-accept", "degraded", "lease-resync", "presumed-degraded", "lease-probe", "heartbeat", "control-period"} {
+		if kinds[want] == 0 {
+			t.Fatalf("partition trace has no %q spans (kinds: %v)", want, kinds)
+		}
+	}
+	// The partition run must raise the rack-degraded and rack-silent
+	// alerts, each anchored to a real span in the trace.
+	var sawDegraded, sawSilent bool
+	for _, a := range oc.Alerts() {
+		switch a.Detector {
+		case obs.DetectorRackDegraded:
+			sawDegraded = true
+		case obs.DetectorRackSilent:
+			sawSilent = true
+		}
+		if a.SpanID != 0 {
+			if _, ok := byID[a.SpanID]; !ok {
+				t.Fatalf("alert %+v anchored to unknown span", a)
+			}
+		}
+	}
+	if !sawDegraded || !sawSilent {
+		t.Fatalf("partition run missing alerts: degraded=%v silent=%v", sawDegraded, sawSilent)
+	}
+}
+
+// TestRegisterLinkMetricsUnderPartition exercises the full link metric set
+// against a sustained partition: every counter the exporter publishes must
+// agree with the run's own accounting.
+func TestRegisterLinkMetricsUnderPartition(t *testing.T) {
+	cfg := obsPartitionConfig()
+	reg := telemetry.NewRegistry()
+	cfg.Link.Metrics = reg
+	res, err := RunLinked(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	get := func(name string) float64 {
+		t.Helper()
+		v, ok := snap.Value(name)
+		if !ok {
+			t.Fatalf("metric %s not registered", name)
+		}
+		return v
+	}
+
+	if got := get("link_grants_sent_total"); got != float64(res.Transport.GrantsSent) {
+		t.Fatalf("grants_sent %v, accounting says %d", got, res.Transport.GrantsSent)
+	}
+	if got := get("link_grants_lost_total"); got != float64(res.Transport.GrantsLost+res.Transport.GrantsPartition) {
+		t.Fatalf("grants_lost %v, accounting says %d", got, res.Transport.GrantsLost+res.Transport.GrantsPartition)
+	}
+	if get("link_grants_lost_total") == 0 {
+		t.Fatal("sustained partition lost no grants")
+	}
+	var expiries int
+	for _, c := range res.Clients {
+		expiries += c.Expiries
+	}
+	if expiries == 0 {
+		t.Fatal("sustained partition produced no lease expiry")
+	}
+	if got := get("link_expiries_total"); got != float64(expiries) {
+		t.Fatalf("expiries_total %v, accounting says %d", got, expiries)
+	}
+	if got := get("link_resyncs_total"); got != float64(res.Resyncs()) || got == 0 {
+		t.Fatalf("resyncs_total %v, accounting says %d", got, res.Resyncs())
+	}
+	if got := get("link_probes_total"); got != float64(res.Coord.Probes) || got == 0 {
+		t.Fatalf("probes_total %v, accounting says %d", got, res.Coord.Probes)
+	}
+	if got := get("link_repacks_total"); got != float64(res.Coord.Repacks) || got == 0 {
+		t.Fatalf("repacks_total %v, accounting says %d", got, res.Coord.Repacks)
+	}
+	if got := get("link_presumed_degraded_total"); got != float64(res.Coord.Presumed) || got == 0 {
+		t.Fatalf("presumed_degraded_total %v, accounting says %d", got, res.Coord.Presumed)
+	}
+	proto, _, err := cfg.linkSetup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 690 s partition walks the re-grant backoff all the way to its cap.
+	if got := get("link_regrant_backoff_peak_seconds"); got != proto.MaxBackoffS {
+		t.Fatalf("backoff peak %v, want cap %v", got, proto.MaxBackoffS)
+	}
+	if got := get("link_degraded_seconds"); got != res.DegradedS() || got == 0 {
+		t.Fatalf("degraded_seconds %v, accounting says %v", got, res.DegradedS())
+	}
+	age := get("link_lease_age_seconds")
+	if math.IsNaN(age) || age < 0 || age > proto.TTLS {
+		t.Fatalf("end-of-run lease age %v outside [0, TTL=%v]", age, proto.TTLS)
+	}
+}

@@ -170,10 +170,12 @@ func (s *SprintCon) modelTotalW(pInterEstW float64) float64 {
 // drives the overload-suspension watchdog. It returns the value every
 // downstream consumer must use instead of the raw reading.
 func (s *SprintCon) guardMeasurement(env *sim.Env, rawW, pInterEstW float64) float64 {
-	filtered, ok := s.hd.guard.Step(rawW, s.modelTotalW(pInterEstW))
+	model := s.modelTotalW(pInterEstW)
+	filtered, ok := s.hd.guard.Step(rawW, model)
 	if !ok {
 		s.tm.guardRejected.Inc()
 	}
+	s.ob.sensorGapW = math.Abs(filtered - model)
 	conf := s.hd.guard.Confidence()
 	s.tm.guardConf.Set(conf)
 	s.allocator.SetConfidence(conf)

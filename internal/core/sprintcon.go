@@ -181,6 +181,10 @@ type SprintCon struct {
 	tm      coreMetrics
 	pending *decisionInputs
 
+	// ob is the observability-plane hook (obs.go); zero value when the
+	// run is unobserved.
+	ob obsHook
+
 	// Online model estimation (optional).
 	rls         *control.RLS
 	kModel      float64 // slope the controllers currently use
@@ -316,6 +320,7 @@ func (s *SprintCon) initCommon(env *sim.Env, scn sim.Scenario) error {
 	s.inv = invariantState{}
 	s.tm = newCoreMetrics(env.Metrics)
 	s.pending = nil
+	s.ob = obsHook{plane: env.Obs, capacityWh: scn.UPS.CapacityWh}
 
 	params := scn.Rack.ServerParams
 	co := params.DesignCoeffs(s.cfg.RefUtil)
@@ -471,6 +476,7 @@ func (s *SprintCon) Tick(env *sim.Env, snap sim.Snapshot) float64 {
 		env.Decisions.Emit(s.buildDecision(s.pending, req, snap.UPSSoC))
 		s.pending = nil
 	}
+	s.observePlane(env, snap, pcb)
 	return req
 }
 
@@ -694,6 +700,7 @@ func (s *SprintCon) serverPowerControl(env *sim.Env, snap sim.Snapshot, pcb, pIn
 		s.observeActuation(env, next, applied)
 	}
 	s.observeActuationMetrics(env)
+	s.observeControlPeriod(next, applied, urgency, s.cfg.Controller != ControllerPI)
 }
 
 // deadlinePowerFloor estimates the batch power needed so every incomplete

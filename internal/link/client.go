@@ -1,6 +1,10 @@
 package link
 
-import "math"
+import (
+	"math"
+
+	"sprintcon/internal/obs"
+)
 
 // Client is the rack-side end of the control link. It owns the lease
 // discipline: version-monotone acceptance of grants, the degraded-mode
@@ -43,6 +47,11 @@ type Client struct {
 	beatMode        int
 
 	stats ClientStats
+
+	// plane is the rack's observability plane (nil = disabled). Every
+	// lease state transition is mirrored there as a span causally linked
+	// to the grant that crossed the transport.
+	plane *obs.Plane
 }
 
 // ClientStats counts the client's lease lifecycle events.
@@ -82,6 +91,7 @@ func (c *Client) Offer(now float64, l Lease) bool {
 	}
 	if c.hasLease && l.Version <= c.lease.Version {
 		c.stats.Stale++
+		c.plane.LeaseStale(now, l.SpanID, l.Version)
 		return false
 	}
 	prevOffset := c.lease.PhaseOffsetS
@@ -96,6 +106,7 @@ func (c *Client) Offer(now float64, l Lease) bool {
 	c.lease = l
 	c.hasLease = true
 	c.stats.Accepted++
+	c.plane.LeaseAccepted(now, l.SpanID, l.Version)
 	// Re-phase guard: if the new slot is already mid-window and the rack
 	// wasn't overloading, joining late would overlap the tail of this
 	// window with whoever owns the next slot. Sit this window out.
@@ -133,11 +144,14 @@ func (c *Client) Advance(now, dt float64) Budget {
 		c.degraded = false
 		c.stats.Resyncs++
 		c.stats.LastResyncS = now
+		c.plane.LeaseResynced(now, c.lease.Version)
 	}
 	if !valid && !c.degraded {
 		c.degraded = true
 		c.stats.Expiries++
+		c.plane.LeaseExpired(now, c.lease.Version)
 	}
+	c.plane.ObserveLink(c.LeaseAgeS(now))
 	if c.degraded {
 		c.stats.DegradedS += dt
 		// The standalone fallback: rated breaker power only, overloads
@@ -201,6 +215,7 @@ func (c *Client) MaybeBeat(now float64) (Heartbeat, bool) {
 	}
 	c.beatEver = true
 	c.lastBeatS = now
+	c.plane.HeartbeatSent(now, c.LeaseVersion())
 	return Heartbeat{
 		RackID:       c.id,
 		SentAtS:      now,
@@ -222,6 +237,18 @@ func (c *Client) MaybeBeat(now float64) (Heartbeat, bool) {
 func (c *Client) FailSafe(now float64) {
 	c.hasLease = false
 	c.lease = Lease{RackID: c.id}
+	c.plane.LeaseFailSafe(now)
+}
+
+// Attach wires the rack's observability plane into the lease lifecycle
+// (nil detaches). Purely observational: no control decision changes. A
+// lease already held (the bootstrap lease) is recorded as accepted at its
+// issue time, so the trace's causal chain starts at the bootstrap grant.
+func (c *Client) Attach(p *obs.Plane) {
+	c.plane = p
+	if p != nil && c.hasLease {
+		p.LeaseAccepted(c.lease.IssuedAtS, c.lease.SpanID, c.lease.Version)
+	}
 }
 
 // ID returns the rack id this client serves.

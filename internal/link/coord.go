@@ -3,6 +3,8 @@ package link
 import (
 	"fmt"
 	"math"
+
+	"sprintcon/internal/obs"
 )
 
 // CoordConfig parameterises the cluster coordinator.
@@ -71,6 +73,10 @@ type rackState struct {
 	everSent     bool
 	presumedDown bool
 	degradedByHb bool // rack itself reported degraded in its last beat
+	// lastSpanID is the observability span of the newest grant put on the
+	// wire for this rack — the causal parent of a later presumed-degraded
+	// or silent-rack event. Soft state: a coordinator restart wipes it.
+	lastSpanID uint64
 }
 
 // CoordStats counts coordinator-side events.
@@ -79,6 +85,10 @@ type CoordStats struct {
 	Probes   int // degraded re-sync probes issued to unreachable racks
 	Repacks  int // slot-assignment changes
 	Presumed int // transitions into presumed-degraded
+	// PeakBackoffS is the largest re-grant retry backoff actually used
+	// (capped at the link's MaxBackoffS); under a sustained partition it
+	// climbs the exponential ladder to the cap.
+	PeakBackoffS float64
 }
 
 // Coordinator is the cluster-side end of the control link: it turns
@@ -91,7 +101,13 @@ type Coordinator struct {
 	cfg   CoordConfig
 	racks []rackState
 	stats CoordStats
+	plane *obs.Plane
 }
+
+// Attach wires the coordinator's observability plane (nil detaches): grant
+// and probe spans, presumed-degraded transitions, restart edges, and the
+// silent-rack detector. Purely observational.
+func (c *Coordinator) Attach(p *obs.Plane) { c.plane = p }
 
 // NewCoordinator builds a coordinator that assumes every rack checked in at
 // time zero holding its bootstrap lease (see Bootstrap).
@@ -130,6 +146,8 @@ func (c *Coordinator) Bootstrap() []Lease {
 			AllowUPS:      true,
 			PhaseOffsetS:  c.cfg.slotOffset(i / c.cfg.SlotCapacity),
 		}
+		out[i].SpanID = c.plane.GrantSpan(0, i, 1, false, false, 0)
+		c.racks[i].lastSpanID = out[i].SpanID
 	}
 	return out
 }
@@ -171,6 +189,7 @@ func (c *Coordinator) Stats() CoordStats { return c.stats }
 // conservatively — a full TTL during which any rack may still hold a sprint
 // grant issued before the crash.
 func (c *Coordinator) Restart(now float64) {
+	c.plane.CoordRestart(now)
 	for i := range c.racks {
 		c.racks[i] = rackState{
 			nextVersion:   1,
@@ -192,9 +211,21 @@ func (c *Coordinator) Step(now float64) []Lease {
 	live := make([]int, 0, len(c.racks))
 	for i := range c.racks {
 		r := &c.racks[i]
+		// Silent-rack detection: the heartbeat age is the coordinator's
+		// only liveness signal, and it is evaluated here — while the
+		// coordinator itself is down Step never runs, so a dead
+		// coordinator cannot accuse racks of silence.
+		if c.plane != nil {
+			age := math.NaN()
+			if r.haveBeat {
+				age = now - r.lastBeatS
+			}
+			c.plane.ObserveBeatAge(now, i, age, r.lastSpanID)
+		}
 		down := !c.reachable(i, now) && now > r.sprintExpiryS+1e-9
 		if down && !r.presumedDown {
 			c.stats.Presumed++
+			c.plane.PresumedDegraded(now, i, r.lastSpanID)
 		}
 		r.presumedDown = down
 		if !down {
@@ -232,6 +263,8 @@ func (c *Coordinator) Step(now float64) []Lease {
 				AllowUPS:      true,
 				PhaseOffsetS:  want,
 			}
+			l.SpanID = c.plane.GrantSpan(now, i, l.Version, false, moved && want != r.sentOffset, 0)
+			r.lastSpanID = l.SpanID
 			r.nextVersion++
 			r.sprintExpiryS = l.ExpiresAtS()
 			r.nextSendS = now + c.cfg.Link.RefreshS
@@ -257,8 +290,13 @@ func (c *Coordinator) Step(now float64) []Lease {
 			TTLS:         c.cfg.Link.TTLS,
 			PhaseOffsetS: r.sentOffset,
 		}
+		l.SpanID = c.plane.GrantSpan(now, i, l.Version, true, false, r.backoffS)
+		r.lastSpanID = l.SpanID
 		r.nextVersion++
 		r.nextRetryS = now + r.backoffS
+		if r.backoffS > c.stats.PeakBackoffS {
+			c.stats.PeakBackoffS = r.backoffS
+		}
 		r.backoffS = math.Min(r.backoffS*2, c.cfg.Link.MaxBackoffS)
 		r.sentOverload = false
 		r.everSent = true

@@ -48,6 +48,12 @@ type Lease struct {
 	// PhaseOffsetS is the overload slot the coordinator assigned (the
 	// allocator's schedule phase offset).
 	PhaseOffsetS float64
+	// SpanID is the coordinator-side grant span's ID, carried across the
+	// transport so the rack's lifecycle spans (accept, degraded, control
+	// periods) causally link back to the grant that authorized them. Zero
+	// when the coordinator runs without an observability plane; purely
+	// observational — no control decision reads it.
+	SpanID uint64
 }
 
 // ExpiresAtS returns the simulation time the lease stops being valid.

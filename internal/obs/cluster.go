@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"sort"
+
+	"sprintcon/internal/telemetry"
+)
+
+// Cluster is the merged observability view of a linked run: one plane per
+// rack plus the coordinator's. It owns nothing at tick time — the planes
+// do the work — and merges deterministically on demand.
+type Cluster struct {
+	Coord *Plane
+	Racks []*Plane
+}
+
+// NewCluster builds planes for numRacks racks and the coordinator, all
+// sharing the detector configuration.
+func NewCluster(numRacks int, cfg DetectorConfig) *Cluster {
+	c := &Cluster{Coord: NewPlane(CoordinatorSource, cfg)}
+	c.Racks = make([]*Plane, numRacks)
+	for i := range c.Racks {
+		c.Racks[i] = NewPlane(i, cfg)
+	}
+	return c
+}
+
+// Spans returns the cluster's merged span trace, ordered by (StartS, ID) —
+// a total order, so the merge is independent of goroutine scheduling.
+func (c *Cluster) Spans() []telemetry.Span {
+	if c == nil {
+		return nil
+	}
+	traces := make([][]telemetry.Span, 0, len(c.Racks)+1)
+	traces = append(traces, c.Coord.Spans())
+	for _, p := range c.Racks {
+		traces = append(traces, p.Spans())
+	}
+	return MergeSpans(traces...)
+}
+
+// Alerts returns the cluster's merged alerts, ordered by (AtS, Rack,
+// Detector).
+func (c *Cluster) Alerts() []Alert {
+	if c == nil {
+		return nil
+	}
+	var out []Alert
+	out = append(out, c.Coord.Alerts()...)
+	for _, p := range c.Racks {
+		out = append(out, p.Alerts()...)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].AtS != out[b].AtS {
+			return out[a].AtS < out[b].AtS
+		}
+		if out[a].Rack != out[b].Rack {
+			return out[a].Rack < out[b].Rack
+		}
+		return out[a].Detector < out[b].Detector
+	})
+	return out
+}
+
+// HealthDoc is the enriched cluster status document: topology, per-rack
+// health, and the live alert/span counts. Serve it with
+// telemetry.Endpoint{Path: "/status/cluster", Doc: c.HealthDoc}.
+type HealthDoc struct {
+	NumRacks int              `json:"num_racks"`
+	Racks    []HealthSnapshot `json:"racks"`
+	Alerts   []Alert          `json:"alerts"`
+	Spans    int              `json:"spans"`
+}
+
+// Doc assembles the live cluster health document (safe during a run).
+func (c *Cluster) Doc() any {
+	if c == nil {
+		return HealthDoc{}
+	}
+	doc := HealthDoc{NumRacks: len(c.Racks)}
+	for _, p := range c.Racks {
+		doc.Racks = append(doc.Racks, p.Snapshot())
+	}
+	doc.Alerts = c.Alerts()
+	doc.Spans = c.Coord.Tracer().Len()
+	for _, p := range c.Racks {
+		doc.Spans += p.Tracer().Len()
+	}
+	return doc
+}

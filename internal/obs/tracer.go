@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"sprintcon/internal/telemetry"
+)
+
+// Tracer collects causal spans for one emitting source — a rack's control
+// plane or the cluster coordinator. Span IDs are deterministic: each source
+// owns a namespace ((source+1) << sourceShift) and numbers its spans with a
+// monotone counter, so two identical seeded runs emit identical IDs and the
+// coordinator's and racks' IDs never collide. A nil Tracer is a valid
+// disabled tracer: every method no-ops (and costs one nil check), matching
+// the telemetry package's zero-cost-when-disabled contract.
+//
+// The mutex makes the tracer safe for the lock-step cluster loop, where the
+// coordinating goroutine touches a rack's tracer in the grant/heartbeat
+// phases and the rack's own goroutine in the physics phase; the loop's
+// phase barriers order those accesses, so the emission order — and with it
+// the trace — stays deterministic.
+type Tracer struct {
+	mu     sync.Mutex
+	source int
+	seq    uint64
+	spans  []telemetry.Span
+}
+
+// sourceShift positions the source namespace above the per-source sequence
+// counter: 2^40 spans per source before collision, far beyond any run.
+const sourceShift = 40
+
+// CoordinatorSource is the Tracer source ID of the cluster coordinator.
+const CoordinatorSource = -1
+
+// NewTracer returns an enabled tracer for the given source (a rack index,
+// or CoordinatorSource).
+func NewTracer(source int) *Tracer {
+	return &Tracer{source: source, spans: make([]telemetry.Span, 0, 256)}
+}
+
+// nextID mints the next span ID. Caller holds the mutex.
+func (t *Tracer) nextID() uint64 {
+	t.seq++
+	return uint64(t.source+1)<<sourceShift | t.seq
+}
+
+// Begin opens a span at startS and returns its ID (0 on a nil tracer).
+func (t *Tracer) Begin(kind string, rack int, startS float64, parent, leaseVersion uint64) uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.nextID()
+	t.spans = append(t.spans, telemetry.Span{
+		Schema:       telemetry.SpanSchemaVersion,
+		ID:           id,
+		Parent:       parent,
+		Kind:         kind,
+		Rack:         rack,
+		StartS:       startS,
+		EndS:         telemetry.F(math.NaN()),
+		LeaseVersion: leaseVersion,
+	})
+	return id
+}
+
+// End closes the identified open span at endS (no-op on a nil tracer, an
+// unknown ID, or a span already closed).
+func (t *Tracer) End(id uint64, endS float64) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Open spans are rare (degraded-mode episodes), and recent; scan from
+	// the tail.
+	for i := len(t.spans) - 1; i >= 0; i-- {
+		if t.spans[i].ID == id {
+			if t.spans[i].Open() {
+				t.spans[i].EndS = telemetry.F(endS)
+			}
+			return
+		}
+	}
+}
+
+// Event records an instantaneous span (EndS = StartS) with an optional
+// numeric attribute and detail annotation, returning its ID.
+func (t *Tracer) Event(kind string, rack int, nowS float64, parent, leaseVersion uint64, attr float64, detail string) uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.nextID()
+	t.spans = append(t.spans, telemetry.Span{
+		Schema:       telemetry.SpanSchemaVersion,
+		ID:           id,
+		Parent:       parent,
+		Kind:         kind,
+		Rack:         rack,
+		StartS:       nowS,
+		EndS:         telemetry.F(nowS),
+		LeaseVersion: leaseVersion,
+		Attr:         attr,
+		Detail:       detail,
+	})
+	return id
+}
+
+// Spans returns a copy of the recorded spans in emission order.
+func (t *Tracer) Spans() []telemetry.Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]telemetry.Span(nil), t.spans...)
+}
+
+// Len returns the number of recorded spans (0 on nil).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// MergeSpans interleaves several sources' spans into one deterministic
+// trace, ordered by (StartS, ID). The order is total — IDs are unique
+// across sources — so the merged trace is identical however goroutines
+// interleaved during the run.
+func MergeSpans(traces ...[]telemetry.Span) []telemetry.Span {
+	var n int
+	for _, t := range traces {
+		n += len(t)
+	}
+	out := make([]telemetry.Span, 0, n)
+	for _, t := range traces {
+		out = append(out, t...)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].StartS != out[b].StartS {
+			return out[a].StartS < out[b].StartS
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"math"
+	"testing"
+
+	"sprintcon/internal/telemetry"
+)
+
+// TestTracerIDs pins the deterministic span-ID scheme: per-source namespaces
+// (coordinator = CoordinatorSource, rack i = i+1) with a sequence counter,
+// so merged cluster traces never collide and re-runs reproduce identical
+// IDs.
+func TestTracerIDs(t *testing.T) {
+	coord := NewTracer(CoordinatorSource)
+	r0 := NewTracer(0)
+	r1 := NewTracer(1)
+
+	a := coord.Event("lease-grant", 0, 0, 0, 1, 0, "")
+	b := r0.Event("lease-accept", 0, 1, a, 1, 0, "")
+	c := r1.Event("lease-accept", 1, 1, a, 1, 0, "")
+	if a != 1 {
+		t.Fatalf("coordinator first ID = %d, want 1 (namespace 0)", a)
+	}
+	if b != 1<<40|1 {
+		t.Fatalf("rack 0 first ID = %#x, want %#x", b, uint64(1)<<40|1)
+	}
+	if c != 2<<40|1 {
+		t.Fatalf("rack 1 first ID = %#x, want %#x", c, uint64(2)<<40|1)
+	}
+
+	// Same construction, same IDs: the scheme is a pure function of the
+	// (source, sequence) pair.
+	again := NewTracer(CoordinatorSource)
+	if id := again.Event("lease-grant", 0, 0, 0, 1, 0, ""); id != a {
+		t.Fatalf("re-run coordinator ID = %d, want %d", id, a)
+	}
+}
+
+func TestTracerBeginEnd(t *testing.T) {
+	tr := NewTracer(0)
+	id := tr.Begin("degraded", 0, 10, 0, 3)
+	spans := tr.Spans()
+	if len(spans) != 1 || !spans[0].Open() {
+		t.Fatalf("expected one open span, got %+v", spans)
+	}
+	tr.End(id, 25)
+	spans = tr.Spans()
+	if spans[0].Open() || spans[0].EndS != 25 {
+		t.Fatalf("End did not close the span: %+v", spans[0])
+	}
+	// Ending again must not reopen or rewrite.
+	tr.End(id, 99)
+	if got := tr.Spans()[0].EndS; got != 25 {
+		t.Fatalf("closed span rewritten: EndS = %v, want 25", got)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	if id := tr.Begin("x", 0, 0, 0, 0); id != 0 {
+		t.Fatalf("nil Begin = %d, want 0", id)
+	}
+	if id := tr.Event("x", 0, 0, 0, 0, 0, ""); id != 0 {
+		t.Fatalf("nil Event = %d, want 0", id)
+	}
+	tr.End(1, 0)
+	if tr.Spans() != nil || tr.Len() != 0 {
+		t.Fatal("nil tracer must report no spans")
+	}
+}
+
+// TestMergeSpans pins the merge's total order: (StartS, ID), which is
+// deterministic whatever goroutine interleaving produced the per-source
+// traces.
+func TestMergeSpans(t *testing.T) {
+	a := []telemetry.Span{
+		{Schema: telemetry.SpanSchemaVersion, ID: 5, StartS: 2},
+		{Schema: telemetry.SpanSchemaVersion, ID: 6, StartS: 0},
+	}
+	b := []telemetry.Span{
+		{Schema: telemetry.SpanSchemaVersion, ID: 1<<40 | 1, StartS: 2},
+		{Schema: telemetry.SpanSchemaVersion, ID: 1<<40 | 2, StartS: 1},
+	}
+	got := MergeSpans(a, b)
+	wantOrder := []uint64{6, 1<<40 | 2, 5, 1<<40 | 1}
+	for i, s := range got {
+		if s.ID != wantOrder[i] {
+			t.Fatalf("merge order[%d] = %d, want %d", i, s.ID, wantOrder[i])
+		}
+	}
+	if math.IsNaN(got[0].StartS) {
+		t.Fatal("merge corrupted spans")
+	}
+}

@@ -54,6 +54,7 @@ func NewRunner(scn Scenario, p Policy, opts RunOptions) (*Runner, error) {
 	}
 	env.Metrics = opts.Metrics
 	env.Decisions = opts.Decisions
+	env.Obs = opts.Obs
 
 	res := &Result{Policy: p.Name(), Scenario: scn, MaxCompletionTimeS: math.NaN()}
 	res.InteractiveDemand = env.Trace.Summary()

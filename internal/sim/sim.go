@@ -14,6 +14,7 @@ import (
 	"sprintcon/internal/breaker"
 	"sprintcon/internal/checkpoint"
 	"sprintcon/internal/faults"
+	"sprintcon/internal/obs"
 	"sprintcon/internal/rack"
 	"sprintcon/internal/telemetry"
 	"sprintcon/internal/ups"
@@ -39,6 +40,11 @@ type Env struct {
 	// Nil unless enabled through RunOptions; telemetry.DecisionSink is
 	// nil-safe, so policies emit unconditionally.
 	Decisions *telemetry.DecisionSink
+	// Obs is the rack's causal observability plane (spans, health
+	// rollups, anomaly detectors). Nil unless enabled through
+	// RunOptions.Obs; obs.Plane is nil-safe, so policies observe
+	// unconditionally.
+	Obs *obs.Plane
 }
 
 // Snapshot is the measurement set a policy sees at the start of a tick.
@@ -288,6 +294,9 @@ type RunOptions struct {
 	// Decisions, when non-nil, is installed as Env.Decisions and receives
 	// one structured JSONL record per policy control period.
 	Decisions *telemetry.DecisionSink
+	// Obs, when non-nil, is installed as Env.Obs: the policy emits
+	// control-period spans, health rollups and anomaly alerts there.
+	Obs *obs.Plane
 	// Status, when non-nil, is refreshed every tick with the live run
 	// state, for the /status endpoint of a metrics server.
 	Status *telemetry.RunStatus

@@ -8,14 +8,24 @@ import (
 	"time"
 )
 
+// Endpoint is one extra observability route mounted on the Handler mux —
+// the hook richer planes (the cluster health document, active spans) use to
+// publish without telemetry importing them. Doc must marshal to JSON; it is
+// called per request, so it should return a point-in-time snapshot.
+type Endpoint struct {
+	Path string
+	Doc  func() any
+}
+
 // Handler returns the observability endpoint mux:
 //
 //	/metrics        — Prometheus text exposition of the registry
 //	/status         — live run-status JSON (StatusSnapshot)
 //	/debug/pprof/…  — the standard Go profiling endpoints
+//	extra           — any caller-supplied JSON endpoints (e.g. /cluster)
 //
 // reg and status may be nil; the endpoints then serve empty documents.
-func Handler(reg *Registry, status *RunStatus) http.Handler {
+func Handler(reg *Registry, status *RunStatus, extra ...Endpoint) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -27,6 +37,15 @@ func Handler(reg *Registry, status *RunStatus) http.Handler {
 		enc.SetIndent("", " ")
 		_ = enc.Encode(status.Get())
 	})
+	for _, ep := range extra {
+		doc := ep.Doc
+		mux.HandleFunc(ep.Path, func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", " ")
+			_ = enc.Encode(doc())
+		})
+	}
 	// The pprof handlers are wired explicitly: importing net/http/pprof
 	// only registers them on http.DefaultServeMux, which this mux
 	// deliberately is not (a simulation should not inherit whatever else

@@ -33,6 +33,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -344,7 +345,7 @@ func (s Snapshot) Get(name string) (Point, bool) {
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, p := range r.Snapshot() {
 		if p.Help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", p.Name, p.Help); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", p.Name, escapeHelp(p.Help)); err != nil {
 				return err
 			}
 		}
@@ -375,7 +376,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 // formatFloat renders a float the way Prometheus expects (shortest exact
-// decimal; NaN/Inf spelled out).
+// decimal; NaN/Inf spelled out). This is the exporter's own sanitization
+// layer: gauges are routinely Set straight from plant state (lease age is
+// NaN before the first grant, an uncontrolled CB budget is +Inf), and those
+// values must reach the wire as the exposition format's literal spellings —
+// "NaN", "+Inf", "-Inf" — never as Go's "%f" renderings of them.
 func formatFloat(v float64) string {
 	switch {
 	case math.IsNaN(v):
@@ -386,4 +391,27 @@ func formatFloat(v float64) string {
 		return "-Inf"
 	}
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP annotation per the text exposition format:
+// backslashes and newlines are the only characters with escape syntax in
+// HELP text, and an unescaped newline would split the annotation into a
+// garbage line no parser accepts.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }

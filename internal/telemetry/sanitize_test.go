@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusSanitizesNonFinite is the regression test for the
+// exporter's sanitization layer: gauges are Set straight from plant state
+// (lease age is NaN before the first grant, an uncontrolled CB budget is
+// +Inf), and those values must reach the wire as the exposition format's
+// literal spellings — never as Go's %v renderings, and never as a line a
+// scraper rejects.
+func TestWritePrometheusSanitizesNonFinite(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("lease_age_seconds", "age of the live lease").Set(math.NaN())
+	r.Gauge("cb_budget_watts", "effective CB budget").Set(math.Inf(1))
+	r.Gauge("margin_floor", "worst-case margin").Set(math.Inf(-1))
+	r.Gauge("plain", "finite control").Set(1.5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	got := buf.String()
+	for _, want := range []string{
+		"lease_age_seconds NaN\n",
+		"cb_budget_watts +Inf\n",
+		"margin_floor -Inf\n",
+		"plain 1.5\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+	// Go's default float renderings must not leak through.
+	for _, bad := range []string{"Infinity", "+Inf\u0000", " nan", "NAN"} {
+		if strings.Contains(got, bad) {
+			t.Errorf("exposition contains unsanitized rendering %q:\n%s", bad, got)
+		}
+	}
+	// Every sample line is exactly "name value": a parser sees no blank or
+	// truncated lines.
+	for _, line := range strings.Split(strings.TrimRight(got, "\n"), "\n") {
+		if line == "" {
+			t.Errorf("blank line in exposition:\n%s", got)
+		}
+		if !strings.HasPrefix(line, "# ") && len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+// TestWritePrometheusEscapesHelp pins HELP escaping: backslashes and
+// newlines are the only characters with escape syntax in HELP text, and an
+// unescaped newline would split the annotation into a garbage line.
+func TestWritePrometheusEscapesHelp(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("weird", "line one\nline two with C:\\path").Set(0)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	got := buf.String()
+	want := `# HELP weird line one\nline two with C:\\path` + "\n"
+	if !strings.Contains(got, want) {
+		t.Fatalf("HELP not escaped:\nwant %q in\n%s", want, got)
+	}
+	// The raw newline must not have survived into the HELP line.
+	for _, line := range strings.Split(got, "\n") {
+		if strings.HasPrefix(line, "line two") {
+			t.Fatalf("HELP newline leaked as its own line:\n%s", got)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		math.NaN():      "NaN",
+		math.Inf(1):     "+Inf",
+		math.Inf(-1):    "-Inf",
+		0:               "0",
+		1.5:             "1.5",
+		-2.25:           "-2.25",
+		1e21:            "1e+21",
+		0.0001220703125: "0.0001220703125", // exact binary fraction stays exact
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// SpanSchemaVersion is the current span-record schema. Bump it whenever a
+// field is added, removed or re-interpreted, so trace diffing across
+// versions fails loudly instead of silently comparing different shapes.
+const SpanSchemaVersion = 1
+
+// Span is one causal trace record: a lease lifecycle step or a control
+// period, timestamped from simulation time so two identical seeded runs
+// produce byte-identical traces (the same property decision traces have).
+//
+// Causality is carried by Parent: a rack's lease-accept span points at the
+// coordinator's grant span (the grant's span ID crosses the transport inside
+// the lease), a degraded span points at the grant whose expiry opened it,
+// and every control-period span points at the lease span the rack's budget
+// came from. IDs are deterministic — namespaced per emitting source and
+// sequential within it — never random.
+type Span struct {
+	// Schema is the span schema version (SpanSchemaVersion at write time).
+	Schema int `json:"schema"`
+	// ID is the span's unique identifier: (source+1)<<40 | seq, where
+	// source is the emitting rack (or -1 for the coordinator) and seq a
+	// per-source monotone counter.
+	ID uint64 `json:"id"`
+	// Parent is the causing span's ID (0 for a root span).
+	Parent uint64 `json:"parent,omitempty"`
+	// Kind names the lifecycle step (lease-grant, lease-accept, degraded,
+	// control-period, ...).
+	Kind string `json:"kind"`
+	// Rack is the rack the span concerns (-1 for coordinator-global spans).
+	Rack int `json:"rack"`
+	// StartS and EndS bound the span in simulation seconds. EndS is NaN
+	// (JSON null) while the span is open; instantaneous events close at
+	// their start time.
+	StartS float64 `json:"start_s"`
+	EndS   F       `json:"end_s"`
+	// LeaseVersion is the lease version the step concerns (0 when the step
+	// is not lease-scoped).
+	LeaseVersion uint64 `json:"lease_version,omitempty"`
+	// Attr is an optional numeric attribute (QP sweeps for control-period
+	// spans, backoff seconds for probes).
+	Attr float64 `json:"attr,omitempty"`
+	// Detail is an optional static annotation (e.g. "repack", the
+	// supervisor mode of a control period).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Open reports whether the span has not ended (EndS is NaN).
+func (s Span) Open() bool { return math.IsNaN(float64(s.EndS)) }
+
+// WriteSpans renders spans as JSONL, one record per line, in slice order.
+func WriteSpans(w io.Writer, spans []Span) error {
+	enc := json.NewEncoder(w)
+	for i := range spans {
+		if err := enc.Encode(&spans[i]); err != nil {
+			return fmt.Errorf("telemetry: span record %d: %w", i+1, err)
+		}
+	}
+	return nil
+}
+
+// ReadSpans parses a JSONL span trace (the -trace-spans output) back into
+// records. Errors name the offending record.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	dec := json.NewDecoder(r)
+	var out []Span
+	for {
+		var s Span
+		err := dec.Decode(&s)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: span trace record %d: %w", len(out)+1, err)
+		}
+		out = append(out, s)
+	}
+}
+
+// FormatSpanTree renders spans as an indented causal forest: roots in
+// (StartS, ID) order, children under their parents. Spans whose parent is
+// absent from the slice (e.g. a filtered trace) print as roots.
+func FormatSpanTree(w io.Writer, spans []Span) {
+	byID := make(map[uint64]int, len(spans))
+	for i, s := range spans {
+		byID[s.ID] = i
+	}
+	children := make(map[uint64][]int, len(spans))
+	var roots []int
+	for i, s := range spans {
+		if s.Parent != 0 {
+			if _, ok := byID[s.Parent]; ok {
+				children[s.Parent] = append(children[s.Parent], i)
+				continue
+			}
+		}
+		roots = append(roots, i)
+	}
+	order := func(idx []int) {
+		sort.Slice(idx, func(a, b int) bool {
+			sa, sb := spans[idx[a]], spans[idx[b]]
+			if sa.StartS != sb.StartS {
+				return sa.StartS < sb.StartS
+			}
+			return sa.ID < sb.ID
+		})
+	}
+	order(roots)
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		s := spans[i]
+		end := "open"
+		if !s.Open() {
+			end = fmt.Sprintf("%gs", float64(s.EndS))
+		}
+		line := fmt.Sprintf("%s%s rack=%d [%gs → %s]", strings.Repeat("  ", depth), s.Kind, s.Rack, s.StartS, end)
+		if s.LeaseVersion != 0 {
+			line += fmt.Sprintf(" v%d", s.LeaseVersion)
+		}
+		if s.Detail != "" {
+			line += " " + s.Detail
+		}
+		fmt.Fprintln(w, line)
+		kids := children[s.ID]
+		order(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func spanFixture() []Span {
+	return []Span{
+		{Schema: SpanSchemaVersion, ID: 1, Kind: "lease-grant", Rack: 0, StartS: 4, EndS: 4, LeaseVersion: 1},
+		{Schema: SpanSchemaVersion, ID: 1<<40 | 1, Parent: 1, Kind: "lease-accept", Rack: 0, StartS: 4, EndS: 4, LeaseVersion: 1},
+		{Schema: SpanSchemaVersion, ID: 1<<40 | 2, Parent: 1<<40 | 1, Kind: "control-period", Rack: 0, StartS: 8, EndS: 8, Attr: 3, Detail: "normal"},
+		// An open degraded span: EndS is NaN, serialized as JSON null.
+		{Schema: SpanSchemaVersion, ID: 1<<40 | 3, Parent: 1<<40 | 1, Kind: "degraded", Rack: 0, StartS: 21, EndS: F(math.NaN()), LeaseVersion: 1},
+	}
+}
+
+func TestSpanRoundTrip(t *testing.T) {
+	in := spanFixture()
+	var buf bytes.Buffer
+	if err := WriteSpans(&buf, in); err != nil {
+		t.Fatalf("WriteSpans: %v", err)
+	}
+	if strings.Count(buf.String(), "\n") != len(in) {
+		t.Fatalf("expected one JSONL line per span, got:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"end_s":null`) {
+		t.Fatalf("open span's NaN EndS not serialized as null:\n%s", buf.String())
+	}
+
+	out, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatalf("ReadSpans: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round-trip length %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		a, b := in[i], out[i]
+		if a.ID != b.ID || a.Parent != b.Parent || a.Kind != b.Kind || a.Rack != b.Rack ||
+			a.StartS != b.StartS || a.LeaseVersion != b.LeaseVersion || a.Attr != b.Attr || a.Detail != b.Detail {
+			t.Fatalf("span %d mutated in round-trip:\n in: %+v\nout: %+v", i, a, b)
+		}
+		if a.Open() != b.Open() {
+			t.Fatalf("span %d openness lost: in %v out %v", i, a.Open(), b.Open())
+		}
+	}
+}
+
+func TestReadSpansBadRecord(t *testing.T) {
+	_, err := ReadSpans(strings.NewReader("{\"schema\":1}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "record 2") {
+		t.Fatalf("expected an error naming record 2, got %v", err)
+	}
+}
+
+func TestFormatSpanTree(t *testing.T) {
+	var buf bytes.Buffer
+	FormatSpanTree(&buf, spanFixture())
+	got := buf.String()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 tree lines, got %d:\n%s", len(lines), got)
+	}
+	// Causality renders as indentation: grant at the root, accept under it,
+	// the accept's children one level deeper, in (StartS, ID) order.
+	wantPrefix := []string{
+		"lease-grant",
+		"  lease-accept",
+		"    control-period",
+		"    degraded",
+	}
+	for i, w := range wantPrefix {
+		if !strings.HasPrefix(lines[i], w) {
+			t.Fatalf("tree line %d = %q, want prefix %q\nfull tree:\n%s", i, lines[i], w, got)
+		}
+	}
+	if !strings.Contains(lines[3], "open") {
+		t.Fatalf("open span not marked open: %q", lines[3])
+	}
+	// A filtered trace whose parents are missing degrades to a forest of
+	// roots instead of dropping spans.
+	buf.Reset()
+	FormatSpanTree(&buf, spanFixture()[2:])
+	if n := strings.Count(buf.String(), "\n"); n != 2 {
+		t.Fatalf("orphaned spans dropped: %d lines, want 2\n%s", n, buf.String())
+	}
+}
+
+// TestDecisionSchemaVersion pins satellite guarantee: every emitted decision
+// record carries the current schema version so trace diffing across schema
+// changes fails loudly.
+func TestDecisionSchemaVersion(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewDecisionSink(&buf)
+	s.Emit(&Decision{T: 1})
+	if !strings.Contains(buf.String(), `"schema_version":2`) {
+		t.Fatalf("decision record missing schema_version=2:\n%s", buf.String())
+	}
+	ds, err := ReadDecisions(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ReadDecisions: %v", err)
+	}
+	if len(ds) != 1 || ds[0].Schema != DecisionSchemaVersion {
+		t.Fatalf("round-tripped schema = %+v, want version %d", ds, DecisionSchemaVersion)
+	}
+}

@@ -61,6 +61,11 @@ func (f *F) UnmarshalJSON(b []byte) error {
 // identical runs produce byte-identical traces and a golden file can pin
 // the schema.
 type Decision struct {
+	// Schema is the decision-trace schema version. The sink stamps it with
+	// DecisionSchemaVersion on emit, so replay diffing can refuse to
+	// compare traces written under different schemas instead of silently
+	// zero-filling fields the other side never wrote.
+	Schema int `json:"schema_version"`
 	// T is the simulation time of the decision in seconds.
 	T float64 `json:"t"`
 	// Policy is the deciding policy's name.
@@ -165,11 +170,19 @@ func NewDecisionSink(w io.Writer) *DecisionSink {
 	return &DecisionSink{enc: json.NewEncoder(w)}
 }
 
+// DecisionSchemaVersion is the current decision-record schema. Version 2
+// added the schema_version field itself; traces predating it decode with
+// Schema 0.
+const DecisionSchemaVersion = 2
+
 // Emit writes one decision (no-op on a nil sink or after a write error).
+// The record's Schema field is stamped with DecisionSchemaVersion, so every
+// policy's trace carries the version without each call site knowing it.
 func (s *DecisionSink) Emit(d *Decision) {
 	if s == nil || d == nil {
 		return
 	}
+	d.Schema = DecisionSchemaVersion
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
