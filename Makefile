@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos soak fuzz bench bench-check gobench report experiments clean
+.PHONY: all build vet test race chaos soak fuzz bench bench-check gobench report experiments docs-check clean
 
 all: build vet test
 
@@ -57,6 +57,20 @@ report:
 experiments:
 	$(GO) run ./cmd/experiments -exp all
 
+# Documentation gate: vet, every relative link and #anchor in the
+# operator-facing documents must resolve (cmd/docscheck), and the core
+# packages' godoc must render (a missing package or broken example fails
+# `go doc`).
+docs-check:
+	$(GO) vet ./...
+	$(GO) run ./cmd/docscheck README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/OPERATING.md
+	$(GO) doc sprintcon/internal/hier >/dev/null
+	$(GO) doc sprintcon/internal/cluster >/dev/null
+	$(GO) doc sprintcon/internal/link >/dev/null
+	$(GO) doc sprintcon/internal/core >/dev/null
+
+# Keep figs/hierarchy.svg: it is the committed architecture diagram
+# (DESIGN.md §14), not a cmd/report artifact.
 clean:
 	rm -f REPORT.md bench_output.txt bench_check.json test_output.txt
-	rm -rf figs
+	rm -f figs/sgct*.svg figs/sprintcon*.svg

@@ -25,6 +25,11 @@
 //	                  overhead, a parallel-vs-serial bit-identical check,
 //	                  and the degraded-mode seconds (must stay zero with
 //	                  no faults on the wire)
+//	cluster_hier    — hierarchical building run (internal/hier): linked
+//	                  rows parallel vs serial bit-identity, the sharded
+//	                  static sweep's bit-identity and speedup, and the
+//	                  per-level shadow-breaker record (must stay zero on
+//	                  a clean network)
 //
 // Metric comparison rules against the baseline: deterministic metrics
 // (allocs_per_tick, bit_identical, *_sweeps*) are held to tight bounds;
@@ -47,6 +52,7 @@ import (
 
 	"sprintcon/internal/cluster"
 	"sprintcon/internal/core"
+	"sprintcon/internal/hier"
 	"sprintcon/internal/mathx"
 	"sprintcon/internal/obs"
 	"sprintcon/internal/qp"
@@ -99,6 +105,8 @@ func main() {
 	rep.Scenarios = append(rep.Scenarios, clusterSweep(*quick))
 	fmt.Println("bench: cluster_link")
 	rep.Scenarios = append(rep.Scenarios, clusterLink(*quick))
+	fmt.Println("bench: cluster_hier")
+	rep.Scenarios = append(rep.Scenarios, clusterHier(*quick))
 
 	for _, s := range rep.Scenarios {
 		fmt.Printf("%s:\n", s.Name)
@@ -424,6 +432,104 @@ func clusterLink(quick bool) Scenario {
 		"degraded_s":         parRes.DegradedS(),
 		"feeder_trips":       float64(parRes.FeederTrips),
 	}}
+}
+
+// clusterHier measures the hierarchical control plane: the building run
+// with linked rows (parallel vs serial bit-identity, plus the degraded
+// seconds and per-level shadow-breaker record, which must stay zero on a
+// clean network) and the row-sharded static sweep (bit-identity and the
+// parallel speedup over the serial path).
+func clusterHier(quick bool) Scenario {
+	cfg := hier.DefaultConfig()
+	if quick {
+		cfg.Rows = []hier.RowConfig{{Racks: 4}, {Racks: 4}}
+		cfg.Scenario.DurationS = 300
+	}
+
+	timeLinked := func(c hier.Config) (*hier.Result, float64) {
+		t0 := time.Now()
+		res, err := hier.RunLinked(c)
+		if err != nil {
+			fatal(err)
+		}
+		return res, float64(time.Since(t0).Nanoseconds())
+	}
+	serialCfg := cfg
+	serialCfg.Serial = true
+	serialRes, _ := timeLinked(serialCfg)
+	parRes, linkedNs := timeLinked(cfg)
+
+	timeSweep := func(c hier.Config) (*hier.SweepResult, float64) {
+		t0 := time.Now()
+		res, err := hier.RunSweep(c)
+		if err != nil {
+			fatal(err)
+		}
+		return res, float64(time.Since(t0).Nanoseconds())
+	}
+	sweepSerialRes, sweepSerialNs := timeSweep(serialCfg)
+	sweepParRes, sweepNs := timeSweep(cfg)
+
+	trips := parRes.BuildingTrips
+	for _, n := range parRes.RowTrips() {
+		trips += n
+	}
+
+	return Scenario{Name: "cluster_hier", Metrics: map[string]float64{
+		"hier_linked_ns":       linkedNs,
+		"hier_sweep_ns":        sweepNs,
+		"hier_sweep_serial_ns": sweepSerialNs,
+		"speedup_sweep":        sweepSerialNs / math.Max(1, sweepNs),
+		"bit_identical_hier":   hierEqual(parRes, serialRes),
+		"bit_identical_sweep":  sweepEqual(sweepParRes, sweepSerialRes),
+		"degraded_s":           parRes.DegradedS(),
+		"feeder_trips":         float64(trips),
+	}}
+}
+
+// hierEqual returns 1 when every row of the two hierarchical linked
+// results is bit-for-bit equal (per-rack series and building aggregate),
+// else 0.
+func hierEqual(p, q *hier.Result) float64 {
+	if len(p.Rows) != len(q.Rows) {
+		return 0
+	}
+	for i := range p.Rows {
+		if racksEqual(&p.Rows[i].Result, &q.Rows[i].Result) == 0 {
+			return 0
+		}
+	}
+	for t := range p.BuildingAggregateW {
+		if p.BuildingAggregateW[t] != q.BuildingAggregateW[t] {
+			return 0
+		}
+	}
+	return 1
+}
+
+// sweepEqual returns 1 when every rack series of the two sharded sweeps is
+// bit-for-bit equal, else 0.
+func sweepEqual(p, q *hier.SweepResult) float64 {
+	if len(p.Rows) != len(q.Rows) {
+		return 0
+	}
+	for r := range p.Rows {
+		if len(p.Rows[r]) != len(q.Rows[r]) {
+			return 0
+		}
+		for j := range p.Rows[r] {
+			a, b := p.Rows[r][j].Series, q.Rows[r][j].Series
+			if len(a.TotalW) != len(b.TotalW) {
+				return 0
+			}
+			for t := range a.TotalW {
+				if a.TotalW[t] != b.TotalW[t] || a.CBW[t] != b.CBW[t] || a.SoC[t] != b.SoC[t] {
+					return 0
+				}
+			}
+		}
+	}
+	return 1
 }
 
 // racksEqual returns 1 when every per-rack, per-tick series of the two

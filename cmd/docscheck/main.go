@@ -1,0 +1,196 @@
+// Command docscheck validates the repository's markdown: every relative
+// link must point at a file that exists, and every fragment (#anchor) must
+// resolve to a heading in the target document, using GitHub's slugging
+// rules. External (http/https/mailto) links are not fetched. Code fences
+// and inline code spans are ignored, so shell transcripts containing
+// bracketed text do not trip the checker.
+//
+// Usage:
+//
+//	docscheck README.md DESIGN.md docs/OPERATING.md
+//
+// Exits non-zero listing every broken link; `make docs-check` wires it
+// into CI over the operator-facing documents.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"unicode"
+)
+
+// linkRe matches inline markdown links [text](target) and bare reference
+// definitions. The target group stops at whitespace or the closing paren,
+// which also drops optional titles: [t](a.md "title").
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// headingRe matches ATX headings.
+var headingRe = regexp.MustCompile(`^(#{1,6})\s+(.*?)\s*#*\s*$`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: docscheck <file.md> [file.md ...]")
+		os.Exit(2)
+	}
+	files := os.Args[1:]
+
+	// Pass 1: collect every document's anchor set, so cross-document
+	// fragments (README.md#quickstart) resolve no matter the arg order.
+	anchors := map[string]map[string]bool{}
+	var broken []string
+	for _, f := range files {
+		body, err := os.ReadFile(f)
+		if err != nil {
+			broken = append(broken, err.Error())
+			continue
+		}
+		anchors[filepath.Clean(f)] = headingAnchors(string(body))
+	}
+
+	for _, f := range files {
+		body, err := os.ReadFile(f)
+		if err != nil {
+			continue // already reported
+		}
+		for _, link := range extractLinks(string(body)) {
+			if msg := checkLink(f, link, anchors); msg != "" {
+				broken = append(broken, msg)
+			}
+		}
+	}
+
+	if len(broken) > 0 {
+		for _, m := range broken {
+			fmt.Fprintln(os.Stderr, "docscheck: "+m)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d broken link(s)\n", len(broken))
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d file(s) ok\n", len(files))
+}
+
+// checkLink validates one link target found in file f. It returns "" when
+// the link is fine and a diagnostic otherwise.
+func checkLink(f, target string, anchors map[string]map[string]bool) string {
+	switch {
+	case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"):
+		return "" // external; not fetched
+	}
+	path, frag, _ := strings.Cut(target, "#")
+	resolved := filepath.Clean(f)
+	if path != "" {
+		resolved = filepath.Join(filepath.Dir(f), path)
+		if _, err := os.Stat(resolved); err != nil {
+			return fmt.Sprintf("%s: link %q: %s does not exist", f, target, resolved)
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	set, scanned := anchors[resolved]
+	if !scanned {
+		if !strings.HasSuffix(resolved, ".md") {
+			return "" // fragment into a non-markdown file; nothing to check
+		}
+		body, err := os.ReadFile(resolved)
+		if err != nil {
+			return fmt.Sprintf("%s: link %q: %v", f, target, err)
+		}
+		set = headingAnchors(string(body))
+		anchors[resolved] = set
+	}
+	if !set[strings.ToLower(frag)] {
+		return fmt.Sprintf("%s: link %q: no heading slugs to #%s in %s", f, target, frag, resolved)
+	}
+	return ""
+}
+
+// extractLinks returns the inline link targets of a markdown document,
+// skipping fenced code blocks and inline code spans.
+func extractLinks(body string) []string {
+	var out []string
+	fenced := false
+	for _, line := range strings.Split(body, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			fenced = !fenced
+			continue
+		}
+		if fenced {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(stripCodeSpans(line), -1) {
+			out = append(out, m[1])
+		}
+	}
+	return out
+}
+
+// stripCodeSpans blanks `inline code` so bracketed text inside it is not
+// parsed as a link.
+func stripCodeSpans(line string) string {
+	var b strings.Builder
+	in := false
+	for _, r := range line {
+		switch {
+		case r == '`':
+			in = !in
+			b.WriteRune(' ')
+		case in:
+			b.WriteRune(' ')
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// headingAnchors returns the set of GitHub anchor slugs for a document's
+// headings, including the -1, -2 suffixes GitHub appends to duplicates.
+func headingAnchors(body string) map[string]bool {
+	set := map[string]bool{}
+	seen := map[string]int{}
+	fenced := false
+	for _, line := range strings.Split(body, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			fenced = !fenced
+			continue
+		}
+		if fenced {
+			continue
+		}
+		m := headingRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[2])
+		if n := seen[slug]; n > 0 {
+			set[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			set[slug] = true
+		}
+		seen[slug]++
+	}
+	return set
+}
+
+// slugify applies GitHub's heading-to-anchor rules: lowercase, code and
+// emphasis markers dropped, punctuation removed, spaces become hyphens
+// (hyphens and underscores survive).
+func slugify(h string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(h) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteRune('-')
+		}
+	}
+	return b.String()
+}

@@ -8,7 +8,7 @@
 //
 // Experiments: fig1 fig2 fig3 fig5 fig6 fig7 fig8a fig8b headline
 // ablation-controller ablation-schedule ablation-ups sensitivity qos
-// daily-cost faults partition telemetry obs all.
+// daily-cost faults partition telemetry obs hier all.
 //
 // -cpuprofile and -memprofile write pprof profiles of the selected
 // experiment run (the usual entry point for optimizing the simulator).
@@ -132,6 +132,8 @@ func main() {
 		print1(experiments.TelemetrySummary())
 	case "obs":
 		print1(experiments.AlertCoverage())
+	case "hier":
+		print1(experiments.HierarchyExceedance())
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}

@@ -1,0 +1,57 @@
+// Command sprintd is the long-running hierarchical control-plane service:
+// the building → row → rack simulator of internal/hier served over HTTP.
+// Operators submit scenarios as JSON, watch per-control-period decisions
+// stream back as JSONL, and query live status, cluster health and span
+// traces while the run executes. docs/OPERATING.md is the operator's
+// guide; the API in brief:
+//
+//	POST /api/v1/runs                  — submit a run (RunSpec JSON), returns its id
+//	GET  /api/v1/runs                  — list runs
+//	GET  /api/v1/runs/{id}             — spec, state and final summary
+//	GET  /api/v1/runs/{id}/status      — live per-row progress
+//	GET  /api/v1/runs/{id}/decisions   — stream one rack's decision trace
+//	                                     (?row=&rack=&follow=) as chunked JSONL
+//	GET  /api/v1/runs/{id}/spans       — one row's span trace (?row=) as JSONL
+//	GET  /api/v1/runs/{id}/metrics     — the run's Prometheus metrics
+//	GET  /status                       — service document (runs, uptime)
+//	GET  /status/cluster               — latest run's per-row health rollups
+//	GET  /metrics                      — latest run's Prometheus metrics
+//	GET  /healthz                      — liveness probe
+//	GET  /debug/pprof/…                — Go profiling endpoints
+//
+// Usage:
+//
+//	sprintd -addr 127.0.0.1:8080
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"sprintcon/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sprintd: ")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; :0 picks a free port)")
+	flag.Parse()
+
+	srv := newServer()
+	bound, stop, err := telemetry.Serve(*addr, srv.handler())
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on http://%s (see docs/OPERATING.md)", bound)
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	log.Print("shutting down")
+	if err := stop(); err != nil {
+		log.Fatal(err)
+	}
+}

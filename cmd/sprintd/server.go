@@ -1,0 +1,581 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"time"
+
+	"sprintcon/internal/faults"
+	"sprintcon/internal/hier"
+	"sprintcon/internal/obs"
+	"sprintcon/internal/sim"
+	"sprintcon/internal/telemetry"
+)
+
+// RunSpec is the JSON body of POST /api/v1/runs. Every field is optional;
+// the zero spec runs the acceptance topology (four linked rows of sixteen
+// paper racks, auto-provisioned budgets).
+type RunSpec struct {
+	// Mode selects the runtime: "linked" (default) drives every row
+	// through the lease-based control link; "sweep" runs static
+	// slot-packed phase offsets on the worker pool (capacity studies at
+	// thousands of racks — no link, no decision streams).
+	Mode string `json:"mode,omitempty"`
+	// Rows and RacksPerRow describe a uniform topology (defaults 4×16).
+	// RowConfigs overrides them with explicit per-row shapes.
+	Rows        int       `json:"rows,omitempty"`
+	RacksPerRow int       `json:"racks_per_row,omitempty"`
+	RowConfigs  []RowSpec `json:"row_configs,omitempty"`
+	// BuildingBudgetW caps the building feeder; zero auto-provisions at
+	// the sum of the row ratings.
+	BuildingBudgetW float64 `json:"building_budget_w,omitempty"`
+	// DurationS overrides the scenario duration (seconds).
+	DurationS float64 `json:"duration_s,omitempty"`
+	// Seed offsets every rack's traffic/noise/fault seeds; LinkSeed
+	// drives the per-row transports' fault randomness.
+	Seed     int64 `json:"seed,omitempty"`
+	LinkSeed int64 `json:"link_seed,omitempty"`
+	// Serial disables row- and rack-level parallelism (results are
+	// bit-identical either way).
+	Serial bool `json:"serial,omitempty"`
+	// Scenario is a full per-rack scenario document (the sim scenario
+	// JSON schema, as written by sprintsim -scenario-out); when absent
+	// the paper's default scenario runs.
+	Scenario json.RawMessage `json:"scenario,omitempty"`
+}
+
+// RowSpec is one row of a RunSpec topology.
+type RowSpec struct {
+	// Racks is the row size.
+	Racks int `json:"racks"`
+	// RatingW is the row breaker rating (W); zero auto-provisions the
+	// minimum packing.
+	RatingW float64 `json:"rating_w,omitempty"`
+	// Faults replaces the scenario's fault plan for this row only — e.g.
+	// a link-partition that degrades just this subtree.
+	Faults *faults.Plan `json:"faults,omitempty"`
+}
+
+// config resolves the spec into a hier.Config (without service plumbing).
+func (spec RunSpec) config() (hier.Config, error) {
+	c := hier.Config{
+		BuildingBudgetW: spec.BuildingBudgetW,
+		Scenario:        sim.DefaultScenario(),
+		SprintCon:       hier.DefaultConfig().SprintCon,
+		Seed:            spec.LinkSeed,
+		Serial:          spec.Serial,
+	}
+	if len(spec.Scenario) > 0 {
+		scn, err := sim.ScenarioFromJSON(bytes.NewReader(spec.Scenario))
+		if err != nil {
+			return c, fmt.Errorf("scenario: %w", err)
+		}
+		c.Scenario = scn
+	}
+	if spec.DurationS > 0 {
+		c.Scenario.DurationS = spec.DurationS
+	}
+	c.Scenario.Interactive.Seed += spec.Seed
+	c.Scenario.Rack.Seed += spec.Seed
+	c.Scenario.Faults.Seed += spec.Seed
+	switch {
+	case len(spec.RowConfigs) > 0:
+		for _, r := range spec.RowConfigs {
+			c.Rows = append(c.Rows, hier.RowConfig{Racks: r.Racks, RatingW: r.RatingW, Faults: r.Faults})
+		}
+	default:
+		rows, per := spec.Rows, spec.RacksPerRow
+		if rows == 0 {
+			rows = 4
+		}
+		if per == 0 {
+			per = 16
+		}
+		for i := 0; i < rows; i++ {
+			c.Rows = append(c.Rows, hier.RowConfig{Racks: per})
+		}
+	}
+	return c, nil
+}
+
+// run is one submitted scenario and its lifecycle.
+type run struct {
+	ID      string    `json:"id"`
+	Mode    string    `json:"mode"`
+	Spec    RunSpec   `json:"spec"`
+	Started time.Time `json:"started"`
+
+	cfg     hier.Config
+	metrics *telemetry.Registry
+	obs     []*obs.Cluster
+	streams map[[2]int]*streamLog
+
+	mu         sync.Mutex
+	state      string // "running", "done", "failed"
+	errMsg     string
+	stepsTotal int
+	rowStep    []int
+	rowAggW    []float64
+	finished   time.Time
+	linked     *hier.Result
+	sweep      *hier.SweepResult
+}
+
+// server is the sprintd control plane: a registry of runs behind a mux.
+type server struct {
+	mu      sync.Mutex
+	runs    map[string]*run
+	order   []string
+	seq     int
+	started time.Time
+}
+
+func newServer() *server {
+	return &server{runs: map[string]*run{}, started: time.Now()}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/runs", s.handleList)
+	mux.HandleFunc("GET /api/v1/runs/{id}", s.handleRun)
+	mux.HandleFunc("GET /api/v1/runs/{id}/status", s.handleRunStatus)
+	mux.HandleFunc("GET /api/v1/runs/{id}/decisions", s.handleDecisions)
+	mux.HandleFunc("GET /api/v1/runs/{id}/spans", s.handleSpans)
+	mux.HandleFunc("GET /api/v1/runs/{id}/metrics", s.handleRunMetrics)
+	mux.HandleFunc("GET /status", s.handleStatus)
+	mux.HandleFunc("GET /status/cluster", s.handleStatusCluster)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	// Explicit pprof wiring: this mux is deliberately not DefaultServeMux.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(doc)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit validates the spec, allocates the run's telemetry plumbing
+// and launches it in the background.
+func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	var spec RunSpec
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "decode spec: %v", err)
+		return
+	}
+	mode := spec.Mode
+	if mode == "" {
+		mode = "linked"
+	}
+	if mode != "linked" && mode != "sweep" {
+		httpError(w, http.StatusBadRequest, "mode %q: want \"linked\" or \"sweep\"", mode)
+		return
+	}
+	cfg, err := spec.config()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := cfg.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	r := &run{
+		Mode:    mode,
+		Spec:    spec,
+		Started: time.Now(),
+		cfg:     cfg,
+		metrics: telemetry.NewRegistry(),
+		state:   "running",
+		rowStep: make([]int, len(cfg.Rows)),
+		rowAggW: make([]float64, len(cfg.Rows)),
+	}
+	r.stepsTotal = int(cfg.Scenario.DurationS / cfg.Scenario.DtS)
+	r.cfg.Metrics = r.metrics
+	r.cfg.OnRowTick = func(row, step int, _ float64, aggW float64) {
+		r.mu.Lock()
+		r.rowStep[row] = step + 1
+		r.rowAggW[row] = aggW
+		r.mu.Unlock()
+	}
+	if mode == "linked" {
+		r.streams = map[[2]int]*streamLog{}
+		for row, rc := range cfg.Rows {
+			r.obs = append(r.obs, obs.NewCluster(rc.Racks, obs.DefaultDetectorConfig()))
+			for _, p := range r.obs[row].Racks {
+				p.Bind(r.metrics, fmt.Sprintf("obs_row%d_rack%d_", row, p.Rack()))
+			}
+			for rack := 0; rack < rc.Racks; rack++ {
+				r.streams[[2]int{row, rack}] = newStreamLog()
+			}
+		}
+		r.cfg.Obs = r.obs
+		r.cfg.RackOptions = func(row, rack int) sim.RunOptions {
+			return sim.RunOptions{Decisions: telemetry.NewDecisionSink(r.streams[[2]int{row, rack}])}
+		}
+	} else {
+		r.cfg.OnRowDone = func(row int) {
+			r.mu.Lock()
+			r.rowStep[row] = r.stepsTotal
+			r.mu.Unlock()
+		}
+	}
+
+	s.mu.Lock()
+	s.seq++
+	r.ID = fmt.Sprintf("r%d", s.seq)
+	s.runs[r.ID] = r
+	s.order = append(s.order, r.ID)
+	s.mu.Unlock()
+
+	go r.execute()
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": r.ID, "state": "running", "mode": mode})
+}
+
+// execute drives the run to completion and closes every decision stream.
+func (r *run) execute() {
+	var err error
+	var linked *hier.Result
+	var sweep *hier.SweepResult
+	if r.Mode == "sweep" {
+		sweep, err = hier.RunSweep(r.cfg)
+	} else {
+		linked, err = hier.RunLinked(r.cfg)
+	}
+	r.mu.Lock()
+	r.linked, r.sweep, r.finished = linked, sweep, time.Now()
+	if err != nil {
+		r.state, r.errMsg = "failed", err.Error()
+	} else {
+		r.state = "done"
+	}
+	r.mu.Unlock()
+	for _, st := range r.streams {
+		st.Close()
+	}
+}
+
+func (s *server) get(req *http.Request) (*run, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[req.PathValue("id")]
+	return r, ok
+}
+
+// latest returns the most recently submitted run, preferring linked runs
+// for the cluster-health endpoints (sweeps carry no planes).
+func (s *server) latest(needObs bool) *run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.order) - 1; i >= 0; i-- {
+		r := s.runs[s.order[i]]
+		if !needObs || len(r.obs) > 0 {
+			return r
+		}
+	}
+	return nil
+}
+
+// summary is the state document of GET /api/v1/runs/{id}.
+func (r *run) summary() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	doc := map[string]any{
+		"id":      r.ID,
+		"mode":    r.Mode,
+		"state":   r.state,
+		"started": r.Started,
+		"spec":    r.Spec,
+	}
+	if r.errMsg != "" {
+		doc["error"] = r.errMsg
+	}
+	if r.state == "done" {
+		doc["finished"] = r.finished
+		doc["wall_seconds"] = r.finished.Sub(r.Started).Seconds()
+	}
+	if r.linked != nil {
+		rows := make([]map[string]any, len(r.linked.Rows))
+		for i, row := range r.linked.Rows {
+			rows[i] = map[string]any{
+				"racks":             r.linked.Alloc.Rows[i].Racks,
+				"budget_w":          r.linked.Alloc.Rows[i].BudgetW,
+				"slot_capacity":     r.linked.Alloc.Rows[i].SlotCapacity,
+				"exceed_frac":       row.FeederExceedFrac,
+				"shadow_trips":      row.FeederTrips,
+				"degraded_seconds":  row.DegradedS(),
+				"resyncs":           row.Resyncs(),
+				"cb_trips":          row.CBTrips,
+				"deadline_misses":   row.DeadlineMisses,
+				"peak_aggregate_w":  row.PeakW,
+				"mean_aggregate_w":  row.MeanW,
+				"outage_seconds":    row.OutageS,
+				"transport_dropped": row.Transport.GrantsLost + row.Transport.BeatsLost,
+			}
+		}
+		doc["result"] = map[string]any{
+			"building_budget_w":    r.linked.Alloc.BuildingBudgetW,
+			"building_granted_w":   r.linked.Alloc.TotalGrantedW(),
+			"building_peak_w":      r.linked.BuildingPeakW,
+			"building_mean_w":      r.linked.BuildingMeanW,
+			"building_exceed_frac": r.linked.BuildingExceedFrac,
+			"building_trips":       r.linked.BuildingTrips,
+			"degraded_seconds":     r.linked.DegradedS(),
+			"cb_trips":             r.linked.CBTrips,
+			"deadline_misses":      r.linked.DeadlineMisses,
+			"rows":                 rows,
+		}
+	}
+	if r.sweep != nil {
+		rows := make([]map[string]any, len(r.sweep.Rows))
+		for i := range r.sweep.Rows {
+			rows[i] = map[string]any{
+				"racks":         r.sweep.Alloc.Rows[i].Racks,
+				"budget_w":      r.sweep.Alloc.Rows[i].BudgetW,
+				"slot_capacity": r.sweep.Alloc.Rows[i].SlotCapacity,
+				"exceed_frac":   r.sweep.RowExceedFrac[i],
+				"shadow_trips":  r.sweep.RowTrips[i],
+			}
+		}
+		doc["result"] = map[string]any{
+			"building_budget_w":    r.sweep.Alloc.BuildingBudgetW,
+			"building_granted_w":   r.sweep.Alloc.TotalGrantedW(),
+			"building_peak_w":      r.sweep.BuildingPeakW,
+			"building_mean_w":      r.sweep.BuildingMeanW,
+			"building_exceed_frac": r.sweep.BuildingExceedFrac,
+			"building_trips":       r.sweep.BuildingTrips,
+			"cb_trips":             r.sweep.CBTrips,
+			"deadline_misses":      r.sweep.DeadlineMisses,
+			"rows":                 rows,
+		}
+	}
+	return doc
+}
+
+func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	list := make([]map[string]any, 0, len(s.order))
+	for _, id := range s.order {
+		r := s.runs[id]
+		r.mu.Lock()
+		list = append(list, map[string]any{"id": r.ID, "mode": r.Mode, "state": r.state, "started": r.Started})
+		r.mu.Unlock()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"runs": list})
+}
+
+func (s *server) handleRun(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.get(req)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no run %q", req.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, r.summary())
+}
+
+// handleRunStatus is the live view: per-row step counters and last
+// aggregate draws, usable while the run executes.
+func (s *server) handleRunStatus(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.get(req)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no run %q", req.PathValue("id"))
+		return
+	}
+	r.mu.Lock()
+	rows := make([]map[string]any, len(r.rowStep))
+	var building float64
+	for i := range r.rowStep {
+		rows[i] = map[string]any{
+			"step":             r.rowStep[i],
+			"steps_total":      r.stepsTotal,
+			"last_aggregate_w": r.rowAggW[i],
+		}
+		building += r.rowAggW[i]
+	}
+	doc := map[string]any{
+		"id":              r.ID,
+		"state":           r.state,
+		"mode":            r.Mode,
+		"steps_total":     r.stepsTotal,
+		"rows":            rows,
+		"last_building_w": building,
+		"elapsed_seconds": time.Since(r.Started).Seconds(),
+	}
+	r.mu.Unlock()
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func queryInt(req *http.Request, key string, def int) (int, error) {
+	v := req.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	return strconv.Atoi(v)
+}
+
+// handleDecisions streams one rack's per-control-period decision trace
+// (the telemetry JSONL schema) over chunked HTTP: everything recorded so
+// far, then — unless ?follow=0 — each new record as the simulation emits
+// it, until the run completes or the client disconnects.
+func (s *server) handleDecisions(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.get(req)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no run %q", req.PathValue("id"))
+		return
+	}
+	row, err := queryInt(req, "row", 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "row: %v", err)
+		return
+	}
+	rack, err := queryInt(req, "rack", 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "rack: %v", err)
+		return
+	}
+	st, ok := r.streams[[2]int{row, rack}]
+	if !ok {
+		httpError(w, http.StatusNotFound, "no decision stream for row %d rack %d (sweep runs stream none)", row, rack)
+		return
+	}
+	follow := req.URL.Query().Get("follow") != "0"
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	idx := 0
+	for {
+		lines, n, closed, wake := st.next(idx)
+		idx = n
+		for _, l := range lines {
+			if _, err := w.Write(l); err != nil {
+				return
+			}
+		}
+		if flusher != nil && len(lines) > 0 {
+			flusher.Flush()
+		}
+		if closed || !follow {
+			return
+		}
+		select {
+		case <-wake:
+		case <-req.Context().Done():
+			return
+		}
+	}
+}
+
+// handleSpans serves one row's causal span trace as JSONL (readable with
+// sprintsim -read-spans). Spans stream from the live planes, so a running
+// row serves its spans so far.
+func (s *server) handleSpans(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.get(req)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no run %q", req.PathValue("id"))
+		return
+	}
+	row, err := queryInt(req, "row", 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "row: %v", err)
+		return
+	}
+	if row < 0 || row >= len(r.obs) {
+		httpError(w, http.StatusNotFound, "no span trace for row %d (sweep runs record none)", row)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = telemetry.WriteSpans(w, r.obs[row].Spans())
+}
+
+func (s *server) handleRunMetrics(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.get(req)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no run %q", req.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.metrics.WritePrometheus(w)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	r := s.latest(false)
+	if r == nil {
+		httpError(w, http.StatusNotFound, "no runs yet")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.metrics.WritePrometheus(w)
+}
+
+// handleStatus is the service document: uptime, runs and the API surface.
+func (s *server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	runs := make([]map[string]any, 0, len(s.order))
+	for _, id := range s.order {
+		r := s.runs[id]
+		r.mu.Lock()
+		runs = append(runs, map[string]any{"id": r.ID, "mode": r.Mode, "state": r.state})
+		r.mu.Unlock()
+	}
+	uptime := time.Since(s.started).Seconds()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"service":        "sprintd",
+		"uptime_seconds": uptime,
+		"runs":           runs,
+		"endpoints": []string{
+			"POST /api/v1/runs", "GET /api/v1/runs", "GET /api/v1/runs/{id}",
+			"GET /api/v1/runs/{id}/status", "GET /api/v1/runs/{id}/decisions?row=&rack=&follow=",
+			"GET /api/v1/runs/{id}/spans?row=", "GET /api/v1/runs/{id}/metrics",
+			"GET /status", "GET /status/cluster", "GET /metrics", "GET /healthz",
+		},
+	})
+}
+
+// handleStatusCluster merges the latest linked run's per-row health
+// documents (rollups, alerts) — the hierarchy-wide view of PR-7's
+// /status/cluster.
+func (s *server) handleStatusCluster(w http.ResponseWriter, req *http.Request) {
+	r := s.latest(true)
+	if id := req.URL.Query().Get("run"); id != "" {
+		s.mu.Lock()
+		r = s.runs[id]
+		s.mu.Unlock()
+	}
+	if r == nil || len(r.obs) == 0 {
+		httpError(w, http.StatusNotFound, "no linked runs with an observability plane yet")
+		return
+	}
+	r.mu.Lock()
+	state := r.state
+	r.mu.Unlock()
+	rows := make([]any, len(r.obs))
+	for i, oc := range r.obs {
+		rows[i] = oc.Doc()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"run": r.ID, "state": state, "rows": rows})
+}

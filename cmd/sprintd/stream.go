@@ -1,0 +1,49 @@
+package main
+
+import "sync"
+
+// streamLog is an append-only line buffer that supports replay-then-follow
+// subscribers: the decision sinks write JSONL records into it from the
+// simulation goroutines, and HTTP handlers stream the lines out as they
+// arrive. Each Write call is one complete line (the JSON encoder emits one
+// record per Write), so lines never interleave.
+type streamLog struct {
+	mu     sync.Mutex
+	lines  [][]byte
+	closed bool
+	wake   chan struct{} // closed and replaced on every append/close
+}
+
+func newStreamLog() *streamLog { return &streamLog{wake: make(chan struct{})} }
+
+// Write implements io.Writer for telemetry.NewDecisionSink.
+func (s *streamLog) Write(p []byte) (int, error) {
+	b := make([]byte, len(p))
+	copy(b, p)
+	s.mu.Lock()
+	s.lines = append(s.lines, b)
+	close(s.wake)
+	s.wake = make(chan struct{})
+	s.mu.Unlock()
+	return len(p), nil
+}
+
+// Close marks the log complete; followers drain and return.
+func (s *streamLog) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.wake)
+		s.wake = make(chan struct{})
+	}
+	s.mu.Unlock()
+}
+
+// next returns the lines from index idx on, the new index, whether the log
+// is complete, and a channel that closes when more data (or the close)
+// arrives after this snapshot.
+func (s *streamLog) next(idx int) ([][]byte, int, bool, <-chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lines[idx:], len(s.lines), s.closed, s.wake
+}

@@ -80,10 +80,13 @@ type Config struct {
 	// DeadlineMargin inflates the deadline-required batch power
 	// (fraction) so that model error does not cause misses.
 	DeadlineMargin float64
-	// PhaseOffsetS shifts the periodic overload schedule in time. A
-	// cluster coordinator staggers the offsets of co-located racks so
-	// their overload phases do not coincide, flattening the aggregate
-	// draw on the data-center feeder (extension E12).
+	// PhaseOffsetS shifts the periodic overload schedule in time, which
+	// is how every multi-rack layer packs overload windows: the E12
+	// stagger spreads co-located racks' phases evenly, the link
+	// coordinator bootstraps and re-packs K-at-a-time slot offsets over
+	// the control link, and the hierarchical sweep assigns each rack the
+	// offset of slot ⌊rack/K⌋ within its row. All of them flatten the
+	// aggregate draw on the feeder above.
 	PhaseOffsetS float64
 }
 

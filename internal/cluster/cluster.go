@@ -2,13 +2,17 @@
 // data-center feeder — the scale the paper motivates ("the sprinting power
 // can consume the headroom in the data-center level power budget",
 // Section I) but leaves to future work. Each rack runs its own SprintCon
-// instance against its own breaker and UPS; the coordinator's one lever is
-// the *phase offset* of each rack's periodic overload schedule.
+// instance against its own breaker and UPS; the coordinator's levers are
+// the *phase offset* of each rack's periodic overload schedule and, in
+// linked mode, the per-tick lease budget each rack may spend.
 //
 // Without coordination every rack overloads its breaker at the same time
-// and the feeder sees the full 1.25× aggregate peak. Staggering the
-// offsets by cycle/N keeps at most ⌈N·150/450⌉ racks in an overload phase
-// at once, flattening the aggregate draw.
+// and the feeder sees the full 1.25× aggregate peak. Run staggers static
+// offsets by cycle/N, keeping at most ⌈N·150/450⌉ racks in an overload
+// phase at once; RunLinked drives the same packing live over the
+// lease-based control link (package link), surviving message loss and
+// partitions. internal/hier stacks row and building feeders above this
+// package, running one linked cluster per row feeder.
 //
 // Racks are independent seeded simulations, so Run executes them on the
 // sim worker pool (bounded by GOMAXPROCS) and assembles results in rack
@@ -86,6 +90,12 @@ type LinkConfig struct {
 	// coordinator's, all merged through obs.Cluster. It must hold at
 	// least NumRacks rack planes.
 	Obs *obs.Cluster
+	// OnTick, when non-nil, is called on the coordinating goroutine at the
+	// end of every lock-step tick with the step index, the simulated time
+	// and that tick's feeder aggregate draw (W) — the live-progress hook
+	// the hierarchical runner and the sprintd service use. It must return
+	// quickly: the whole cluster waits on it.
+	OnTick func(step int, nowS, aggregateW float64)
 }
 
 // MaxRacks bounds NumRacks: each rack is a full seeded simulation holding
@@ -188,7 +198,11 @@ func (c Config) linkSetup() (link.Config, link.CoordConfig, error) {
 	}
 	rated := c.Scenario.Breaker.RatedPower
 	bonus := rated * (acfg.OverloadDegree - 1)
-	k := int((c.FeederBudgetW - float64(c.NumRacks)*rated) / bonus)
+	// Floor with a tolerance: a budget assembled as N·rated + K·bonus can
+	// land a hair under the exact product in floats, and plain truncation
+	// would then fund K−1 slots — enough to fail the coordinator's packing
+	// check for a budget that is, by construction, sufficient.
+	k := int((c.FeederBudgetW-float64(c.NumRacks)*rated)/bonus + 1e-9)
 	ccfg := link.CoordConfig{Link: proto, NumRacks: c.NumRacks, SlotCapacity: k}
 	return proto, ccfg, nil
 }

@@ -14,15 +14,17 @@ import (
 	"sprintcon/internal/stats"
 )
 
-// feederTolerance is the relative slack applied before an aggregate-draw
+// FeederTolerance is the relative slack applied before an aggregate-draw
 // sample counts as a feeder exceedance. A correctly packed cluster sits
 // *exactly* at the budget while SlotCapacity racks overload — the budget
 // funds K overloads and the coordinator schedules K — so control-tracking
 // noise alone reaches ~3% of the budget at the peaks. One *extra*
 // uncoordinated overload adds a full bonus, rated·(degree−1), ≈5.6% of the
 // default budget. The tolerance sits between the two: tracking noise does
-// not count as an exceedance, a stolen overload slot always does.
-const feederTolerance = 0.035
+// not count as an exceedance, a stolen overload slot always does. The
+// hierarchical runner applies the same slack at the row and building
+// levels, where the reasoning carries over unchanged.
+const FeederTolerance = 0.035
 
 // LinkedResult extends Result with the feeder safety record and the control
 // link's accounting.
@@ -303,6 +305,9 @@ func RunLinked(cfg Config) (*LinkedResult, error) {
 			agg += r.LastCBPowerW()
 		}
 		aggregate[step] = agg
+		if cfg.Link.OnTick != nil {
+			cfg.Link.OnTick(step, now, agg)
+		}
 	}
 
 	out := &LinkedResult{
@@ -324,8 +329,8 @@ func RunLinked(cfg Config) (*LinkedResult, error) {
 	out.PeakW = stats.Max(aggregate)
 	out.MeanW = stats.Mean(aggregate)
 	out.OverBudgetFrac = stats.FracAbove(aggregate, cfg.FeederBudgetW)
-	out.FeederExceedFrac = stats.FracAbove(aggregate, cfg.FeederBudgetW*(1+feederTolerance))
-	out.FeederTrips = feederTrips(cfg, aggregate, dt)
+	out.FeederExceedFrac = stats.FracAbove(aggregate, cfg.FeederBudgetW*(1+FeederTolerance))
+	out.FeederTrips = ShadowTrips(cfg.FeederBudgetW, aggregate, dt)
 
 	if cfg.Link.Metrics != nil {
 		registerLinkMetrics(cfg, out, clients, steps, dt)
@@ -333,26 +338,28 @@ func RunLinked(cfg Config) (*LinkedResult, error) {
 	return out, nil
 }
 
-// feederTrips runs a shadow breaker rated at the feeder budget over the
-// aggregate draw. It is metric-only — while "tripped" it cools and recloses
-// rather than cutting power, so one sustained violation can score several
-// trips but never alters the simulation.
-func feederTrips(cfg Config, aggregate []float64, dt float64) int {
+// ShadowTrips runs a shadow breaker rated at budgetW over an aggregate draw
+// series sampled every dtS seconds, and returns the trip count. It is
+// metric-only — while "tripped" it cools and recloses rather than cutting
+// power, so one sustained violation can score several trips but never
+// alters the simulation. The linked cluster scores its feeder with it, and
+// the hierarchical runner reuses it for the row and building breakers.
+func ShadowTrips(budgetW float64, aggregate []float64, dtS float64) int {
 	bcfg := breaker.DefaultConfig()
-	bcfg.RatedPower = cfg.FeederBudgetW
+	bcfg.RatedPower = budgetW
 	fb, err := breaker.New(bcfg)
 	if err != nil {
 		return 0
 	}
 	for _, w := range aggregate {
 		if fb.Tripped() {
-			fb.Cool(dt)
+			fb.Cool(dtS)
 			if fb.CanReclose() {
 				_ = fb.Reclose()
 			}
 			continue
 		}
-		fb.Step(w, dt)
+		fb.Step(w, dtS)
 	}
 	return fb.Trips()
 }

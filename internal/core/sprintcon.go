@@ -8,6 +8,12 @@
 //   - UPS energy exhausted → P_cb becomes the power target for ALL
 //     workloads, with priority bidding between classes;
 //   - both → end sprinting.
+//
+// The controller is one rack's brain, but it composes upward: an upstream
+// coordinator (the lease-based control link of internal/link, funded by
+// internal/hier's budget waterfall) can tighten its budget each tick via
+// SetExternalBudget. The constraint is tighten-only, so the stack above
+// can only ever make the rack safer than it would be standalone.
 package core
 
 import (
@@ -243,10 +249,12 @@ func (s *SprintCon) Name() string {
 // Mode returns the current supervisor mode.
 func (s *SprintCon) Mode() Mode { return s.mode }
 
-// ExternalBudget is a budget imposed on the rack from outside — the cluster
-// control link's per-tick lease budget. It only ever tightens what the
-// rack's own schedule and supervisor would allow: an inactive external
-// budget leaves the controller bit-identical to a standalone run.
+// ExternalBudget is a budget imposed on the rack from outside — the row
+// control link's per-tick lease budget, itself funded by the hierarchy's
+// building → row waterfall when one is stacked above it. It only ever
+// tightens what the rack's own schedule and supervisor would allow: an
+// inactive external budget leaves the controller bit-identical to a
+// standalone run.
 type ExternalBudget struct {
 	// Active gates the whole struct; false means no external constraint.
 	Active bool

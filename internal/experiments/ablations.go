@@ -292,6 +292,7 @@ func All() ([]*Table, error) {
 		SprintingBenefit,
 		FaultMatrix,
 		PartitionMatrix,
+		HierarchyExceedance,
 	}
 	var out []*Table
 	for _, c := range ctors {

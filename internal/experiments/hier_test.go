@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHierarchyExceedanceClaims pins the E20 acceptance claims: the
+// hierarchical allocation records zero exceedance and zero shadow trips on
+// every feeder (four rows and the building), while the flat allocation —
+// same total budget, row-blind slot packing — overruns at least one row
+// breaker even though its building-level record stays clean.
+func TestHierarchyExceedanceClaims(t *testing.T) {
+	tbl, err := HierarchyExceedance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != hierRowCount+1 {
+		t.Fatalf("rows = %d, want %d feeders + building", len(tbl.Rows), hierRowCount)
+	}
+	flatRowBroken := false
+	for i, row := range tbl.Rows {
+		feeder := row[0]
+		hierExceed := cell(t, tbl, i, 2)
+		hierTrips := cell(t, tbl, i, 3)
+		flatExceed := cell(t, tbl, i, 4)
+		flatTrips := cell(t, tbl, i, 5)
+		if hierExceed != 0 || hierTrips != 0 {
+			t.Errorf("hierarchy unsafe at %s: exceed=%v trips=%v", feeder, hierExceed, hierTrips)
+		}
+		if feeder == "building" {
+			// The flat run respects the budget it was given — the building
+			// feeder. Its failure is invisible at this level.
+			if flatTrips != 0 || flatExceed > 0.01 {
+				t.Errorf("flat run unsafe at the building feeder: exceed=%v trips=%v", flatExceed, flatTrips)
+			}
+		} else if flatExceed > 0 {
+			flatRowBroken = true
+		}
+	}
+	if !flatRowBroken {
+		t.Error("flat allocation overran no row breaker; the table must show the row-blind packing hazard")
+	}
+	confirmed := false
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "confirmed") {
+			confirmed = true
+		}
+	}
+	if !confirmed {
+		t.Error("table notes missing the measured flat-allocation overrun")
+	}
+}

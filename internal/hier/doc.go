@@ -1,0 +1,46 @@
+// Package hier composes the per-rack SprintCon allocator under row- and
+// building-level breakers — the hierarchical shape a production datacenter
+// runs: one building feeder supplies several row feeders, each row feeder
+// supplies a group of racks, and every level has its own breaker rating.
+//
+// # Budget waterfall
+//
+// Allocate turns a building budget into per-row budgets with the same
+// tighten-only discipline the linked cluster applies per rack: a child
+// level never receives more than its parent can fund, and the sum of the
+// budgets granted to the children of any node never exceeds that node's
+// own budget. Budgets move in whole overload-bonus quanta
+// (rated·(degree−1), one rack's overload surcharge), because that is the
+// granularity at which the coordinator's slot packing can actually spend
+// them: a row's budget N·rated + K·bonus funds exactly K concurrent
+// overloads.
+//
+// Every row is first granted its minimum packing ⌈N/slots⌉ — the smallest
+// slot capacity that lets the row coordinator give each of its N racks an
+// overload slot among the cycle's ⌊cycle/overload⌋ windows. Remaining
+// building headroom is distributed round-robin, one bonus at a time, up to
+// each row's own breaker rating. A building that cannot fund every row's
+// minimum packing is a configuration error, reported by Allocate.
+//
+// # Runtime
+//
+// RunLinked drives each row as an independent cluster.RunLinked — a row
+// coordinator, a lossy transport, and lease-based clients per rack — with
+// the row's granted budget as its feeder budget. Partitions therefore
+// degrade one subtree: a row whose network fails falls back to rated-power
+// autonomy (the degraded ladder of DESIGN.md §12) while the other rows
+// keep sprinting on their leases, and the building aggregate stays inside
+// its breaker. Every level is scored by a shadow breaker
+// (cluster.ShadowTrips) and an exceedance fraction with the same
+// cluster.FeederTolerance slack.
+//
+// RunSweep is the uncoordinated counterpart for capacity studies at
+// thousands of racks: static slot-packed phase offsets per row, executed
+// on the sim worker pool sharded row by row (sim.RunManyOrdered), with
+// results bit-identical between serial and parallel execution.
+//
+// Rack seeds are offset by the rack's global index across the whole
+// building, so every rack sees distinct traffic, noise and fault timings,
+// and a flat cluster over the same racks is directly comparable
+// (experiment E20).
+package hier

@@ -1,0 +1,32 @@
+package hier_test
+
+import (
+	"fmt"
+
+	"sprintcon/internal/hier"
+)
+
+// ExampleAllocate resolves the acceptance topology's budget waterfall:
+// a building feeding four rows of sixteen paper racks. Each row needs
+// ⌈16/3⌉ = 6 overload slots, so every level lands exactly at its minimum
+// packing and the waterfall grants the whole building budget.
+func ExampleAllocate() {
+	cfg := hier.DefaultConfig()
+	a, err := hier.Allocate(cfg)
+	if err != nil {
+		fmt.Println("allocate:", err)
+		return
+	}
+	fmt.Printf("building %.0f W, %d racks, %d slots/cycle\n", a.BuildingBudgetW, a.TotalRacks, a.NumSlots)
+	for i, r := range a.Rows {
+		fmt.Printf("row %d: %d racks, budget %.0f W (K=%d concurrent overloads)\n", i, r.Racks, r.BudgetW, r.SlotCapacity)
+	}
+	fmt.Printf("granted %.0f W of %.0f W\n", a.TotalGrantedW(), a.BuildingBudgetW)
+	// Output:
+	// building 224000 W, 64 racks, 3 slots/cycle
+	// row 0: 16 racks, budget 56000 W (K=6 concurrent overloads)
+	// row 1: 16 racks, budget 56000 W (K=6 concurrent overloads)
+	// row 2: 16 racks, budget 56000 W (K=6 concurrent overloads)
+	// row 3: 16 racks, budget 56000 W (K=6 concurrent overloads)
+	// granted 224000 W of 224000 W
+}

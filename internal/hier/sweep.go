@@ -1,0 +1,145 @@
+package hier
+
+import (
+	"fmt"
+	"math"
+
+	"sprintcon/internal/cluster"
+	"sprintcon/internal/core"
+	"sprintcon/internal/sim"
+	"sprintcon/internal/stats"
+)
+
+// SweepResult aggregates a hierarchical static-offset sweep.
+type SweepResult struct {
+	// Alloc is the budget waterfall the sweep executed.
+	Alloc Allocation
+	// Rows holds each row's per-rack results, index = [row][rack].
+	Rows [][]*sim.Result
+
+	// RowAggregateW is each row's feeder draw per tick; RowExceedFrac and
+	// RowTrips the per-row exceedance fraction and shadow-breaker trips
+	// against the granted row budgets.
+	RowAggregateW [][]float64
+	RowExceedFrac []float64
+	RowTrips      []int
+
+	// BuildingAggregateW, BuildingExceedFrac and BuildingTrips mirror the
+	// row records at the building level.
+	BuildingAggregateW           []float64
+	BuildingPeakW, BuildingMeanW float64
+	BuildingExceedFrac           float64
+	BuildingTrips                int
+
+	// Safety rollups summed across every rack in the building.
+	CBTrips        int
+	OutageS        float64
+	DeadlineMisses int
+}
+
+// sweepJob builds the scenario and policy for rack j of row r: seeds offset
+// by the rack's global index, the row's fault override (link-scoped faults
+// stripped — a sweep has no link), and the statically slot-packed phase
+// offset slot = ⌊j/K⌋, the same packing the row coordinator would bootstrap.
+func sweepJob(c Config, a Allocation, row, j int) (sim.Scenario, sim.Policy) {
+	ra := a.Rows[row]
+	scn := c.Scenario
+	if c.Rows[row].Faults != nil {
+		scn.Faults = *c.Rows[row].Faults
+	}
+	rackPlan, _ := scn.Faults.Split()
+	scn.Faults = rackPlan
+	g := int64(ra.StartRack + j)
+	scn.Interactive.Seed += g
+	scn.Rack.Seed += g
+	scn.Faults.Seed += g
+
+	pcfg := c.SprintCon
+	acfg := c.allocConfig()
+	cycle := acfg.OverloadS + acfg.RecoveryS
+	slot := j / ra.SlotCapacity
+	acfg.PhaseOffsetS = math.Mod(cycle-float64(slot)*acfg.OverloadS, cycle)
+	pcfg.AllocOverride = &acfg
+	return scn, core.New(pcfg)
+}
+
+// RunSweep executes the building with static, per-row slot-packed phase
+// offsets — no control link, no coordinator — on the sim worker pool,
+// sharded row by row: each row's racks run as one sim.RunManyOrdered batch
+// (Config.Serial runs them one at a time instead), rows in order. Results
+// are bit-identical between the serial and parallel paths. Budgets come
+// from the same Allocate waterfall as RunLinked, and every level is scored
+// by the same shadow breakers.
+func RunSweep(c Config) (*SweepResult, error) {
+	a, err := Allocate(c)
+	if err != nil {
+		return nil, err
+	}
+	out := &SweepResult{
+		Alloc:         a,
+		Rows:          make([][]*sim.Result, len(a.Rows)),
+		RowAggregateW: make([][]float64, len(a.Rows)),
+		RowExceedFrac: make([]float64, len(a.Rows)),
+		RowTrips:      make([]int, len(a.Rows)),
+	}
+	for r := range a.Rows {
+		n := a.Rows[r].Racks
+		if c.Serial {
+			out.Rows[r] = make([]*sim.Result, n)
+			for j := 0; j < n; j++ {
+				scn, p := sweepJob(c, a, r, j)
+				res, err := sim.Run(scn, p)
+				if err != nil {
+					return nil, fmt.Errorf("hier: row %d rack %d: %w", r, j, err)
+				}
+				out.Rows[r][j] = res
+			}
+		} else {
+			jobs := make([]sim.Job, n)
+			for j := range jobs {
+				scn, p := sweepJob(c, a, r, j)
+				jobs[j] = sim.Job{Key: fmt.Sprintf("row%d-rack%d", r, j), Scenario: scn, Policy: p}
+			}
+			out.Rows[r], err = sim.RunManyOrdered(jobs)
+			if err != nil {
+				return nil, fmt.Errorf("hier: row %d: %w", r, err)
+			}
+		}
+		if c.OnRowDone != nil {
+			c.OnRowDone(r)
+		}
+	}
+
+	dt := c.Scenario.DtS
+	for r, racks := range out.Rows {
+		var agg []float64
+		for j, res := range racks {
+			out.CBTrips += res.CBTrips
+			out.OutageS += res.OutageS
+			out.DeadlineMisses += res.DeadlineMisses
+			if agg == nil {
+				agg = make([]float64, len(res.Series.CBW))
+			}
+			if len(res.Series.CBW) != len(agg) {
+				return nil, fmt.Errorf("hier: row %d rack %d series length mismatch", r, j)
+			}
+			for t, w := range res.Series.CBW {
+				agg[t] += w
+			}
+		}
+		out.RowAggregateW[r] = agg
+		out.RowExceedFrac[r] = stats.FracAbove(agg, a.Rows[r].BudgetW*(1+cluster.FeederTolerance))
+		out.RowTrips[r] = cluster.ShadowTrips(a.Rows[r].BudgetW, agg, dt)
+		if out.BuildingAggregateW == nil {
+			out.BuildingAggregateW = make([]float64, len(agg))
+		}
+		for t, w := range agg {
+			out.BuildingAggregateW[t] += w
+		}
+	}
+	out.BuildingPeakW = stats.Max(out.BuildingAggregateW)
+	out.BuildingMeanW = stats.Mean(out.BuildingAggregateW)
+	out.BuildingExceedFrac = stats.FracAbove(out.BuildingAggregateW, a.BuildingBudgetW*(1+cluster.FeederTolerance))
+	out.BuildingTrips = cluster.ShadowTrips(a.BuildingBudgetW, out.BuildingAggregateW, dt)
+	return out, nil
+}

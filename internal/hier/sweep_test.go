@@ -1,0 +1,107 @@
+package hier
+
+import (
+	"testing"
+)
+
+// identical asserts two sweeps are bit-identical, series for series.
+func identical(t *testing.T, serial, parallel *SweepResult) {
+	t.Helper()
+	if len(serial.Rows) != len(parallel.Rows) {
+		t.Fatalf("row count %d != %d", len(serial.Rows), len(parallel.Rows))
+	}
+	for r := range serial.Rows {
+		if len(serial.Rows[r]) != len(parallel.Rows[r]) {
+			t.Fatalf("row %d rack count differs", r)
+		}
+		for j := range serial.Rows[r] {
+			a, b := serial.Rows[r][j].Series, parallel.Rows[r][j].Series
+			for tick := range a.CBW {
+				if a.CBW[tick] != b.CBW[tick] || a.SoC[tick] != b.SoC[tick] || a.TotalW[tick] != b.TotalW[tick] {
+					t.Fatalf("row %d rack %d tick %d differs between serial and parallel", r, j, tick)
+				}
+			}
+		}
+	}
+	for tick := range serial.BuildingAggregateW {
+		if serial.BuildingAggregateW[tick] != parallel.BuildingAggregateW[tick] {
+			t.Fatalf("building aggregate differs at tick %d", tick)
+		}
+	}
+	if serial.CBTrips != parallel.CBTrips || serial.DeadlineMisses != parallel.DeadlineMisses {
+		t.Fatal("summary stats differ between serial and parallel sweep")
+	}
+}
+
+// TestSweepBitIdentity: the sharded parallel sweep must reproduce the
+// serial run bit for bit on a small mixed topology.
+func TestSweepBitIdentity(t *testing.T) {
+	c := DefaultConfig()
+	c.Rows = []RowConfig{{Racks: 3}, {Racks: 5}, {Racks: 4}}
+	c.Scenario.DurationS = 300
+
+	c.Serial = true
+	serial, err := RunSweep(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Serial = false
+	var done []int
+	c.OnRowDone = func(row int) { done = append(done, row) }
+	parallel, err := RunSweep(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identical(t, serial, parallel)
+	if len(done) != 3 || done[0] != 0 || done[1] != 1 || done[2] != 2 {
+		t.Fatalf("OnRowDone order = %v, want [0 1 2]", done)
+	}
+}
+
+// TestSweep1000RacksBitIdentity is the acceptance-scale check: a 1000-rack
+// building (4 rows × 250 racks), sharded per row on the worker pool, must
+// be bit-identical to the serial run.
+func TestSweep1000RacksBitIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-rack sweep skipped in -short mode")
+	}
+	c := DefaultConfig()
+	c.Rows = []RowConfig{{Racks: 250}, {Racks: 250}, {Racks: 250}, {Racks: 250}}
+	c.Scenario.DurationS = 120
+
+	c.Serial = true
+	serial, err := RunSweep(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Serial = false
+	parallel, err := RunSweep(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identical(t, serial, parallel)
+	if got := serial.Alloc.TotalRacks; got != 1000 {
+		t.Fatalf("TotalRacks = %d, want 1000", got)
+	}
+}
+
+// TestSweepCleanRunStaysInsideEveryBreaker: with auto-provisioned budgets
+// and slot-packed offsets, no level of the hierarchy may register an
+// exceedance or a shadow trip.
+func TestSweepCleanRunStaysInsideEveryBreaker(t *testing.T) {
+	c := DefaultConfig()
+	c.Rows = []RowConfig{{Racks: 6}, {Racks: 6}}
+	c.Scenario.DurationS = 450
+	res, err := RunSweep(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range res.Rows {
+		if res.RowExceedFrac[r] != 0 || res.RowTrips[r] != 0 {
+			t.Errorf("row %d: exceed frac %g, trips %d", r, res.RowExceedFrac[r], res.RowTrips[r])
+		}
+	}
+	if res.BuildingExceedFrac != 0 || res.BuildingTrips != 0 {
+		t.Errorf("building: exceed frac %g, trips %d", res.BuildingExceedFrac, res.BuildingTrips)
+	}
+}

@@ -19,11 +19,9 @@ type CoordConfig struct {
 }
 
 // NumSlots returns how many non-overlapping overload windows fit in one
-// cycle. The quotient is floored with a tolerance: plain truncation turns
-// float-representation error on exact ratios (0.3/0.1 = 2.999…) into a lost
-// slot and a spurious Validate rejection.
+// cycle; it delegates to the link configuration's schedule arithmetic.
 func (c CoordConfig) NumSlots() int {
-	return int(math.Floor(c.Link.CycleS/c.Link.OverloadS + 1e-9))
+	return c.Link.NumSlots()
 }
 
 // Validate reports structural errors: the link config itself, and whether

@@ -102,6 +102,15 @@ type Config struct {
 	TrustLastGrant bool
 }
 
+// NumSlots returns how many non-overlapping overload windows fit in one
+// cycle — the number of distinct phase offsets the coordinator can assign.
+// The quotient is floored with a tolerance: plain truncation turns
+// float-representation error on exact ratios (0.3/0.1 = 2.999…) into a
+// lost slot and a spurious Validate rejection.
+func (c Config) NumSlots() int {
+	return int(math.Floor(c.CycleS/c.OverloadS + 1e-9))
+}
+
 // DefaultConfig returns link parameters matched to the paper's schedule
 // (150 s overload / 300 s recovery) and SprintCon's 4 s control period.
 func DefaultConfig() Config {
