@@ -16,10 +16,18 @@
 //	mpc_sweeps      — mean QP sweeps per MPC solve over the default
 //	                  closed-loop run, warm vs the pre-optimization
 //	                  legacy path
-//	cluster_sweep   — 4-rack cluster run: wall time of the current
-//	                  parallel path vs the current serial path vs the
-//	                  legacy (cold-QP serial) path, plus a bit-identical
-//	                  check between parallel and serial results
+//	event_engine    — single-rack diurnal power-capping run under the
+//	                  discrete-event engine vs the tick engine: bitwise
+//	                  identity, the in-process speedup, the fraction of
+//	                  plant ticks closed analytically, and the marginal
+//	                  heap allocations per discrete event (must be 0 in
+//	                  steady state)
+//	cluster_sweep   — 1000-rack day-long stepped-diurnal fleet under the
+//	                  event engine (the tentpole scale scenario): wall
+//	                  time of the fleet, serial tick vs serial event on a
+//	                  rack subset (the ≥10× engine speedup), and a
+//	                  bit-identical check between the engines at every
+//	                  control period
 //	cluster_link    — fault-free linked run (RunLinked) vs the static
 //	                  phase-offset run: the control link's stepping
 //	                  overhead, a parallel-vs-serial bit-identical check,
@@ -32,10 +40,13 @@
 //	                  a clean network)
 //
 // Metric comparison rules against the baseline: deterministic metrics
-// (allocs_per_tick, bit_identical, *_sweeps*) are held to tight bounds;
-// in-process speedup ratios (speedup_*) may not drop more than 20%;
-// wall-clock metrics (*_ns) are informational unless -wall is given, since
-// absolute times are machine-dependent.
+// (allocs_per_tick, allocs_per_event, bit_identical, *_sweeps*) are held to
+// tight bounds; in-process speedup ratios (speedup_*) may not drop more
+// than 20%; wall-clock metrics (*_ns) are informational unless -wall is
+// given, since absolute times are machine-dependent. Every scenario records
+// the GOMAXPROCS it ran under, and comparisons for a scenario are refused
+// (with a warning) when it differs from the baseline's — parallel-path
+// ratios measured at different core counts are not comparable.
 package main
 
 import (
@@ -58,14 +69,18 @@ import (
 	"sprintcon/internal/qp"
 	"sprintcon/internal/sim"
 	"sprintcon/internal/telemetry"
+	"sprintcon/internal/workload"
 )
 
 const schemaVersion = "sprintcon-bench/v1"
 
-// Scenario is one benchmark's result: a flat name → value metric map.
+// Scenario is one benchmark's result: a flat name → value metric map, plus
+// the GOMAXPROCS it ran under (parallel-path ratios depend on it, so the
+// comparator refuses cross-core-count comparisons).
 type Scenario struct {
-	Name    string             `json:"name"`
-	Metrics map[string]float64 `json:"metrics"`
+	Name       string             `json:"name"`
+	GOMAXPROCS int                `json:"gomaxprocs,omitempty"`
+	Metrics    map[string]float64 `json:"metrics"`
 }
 
 // Report is the BENCH_<date>.json document.
@@ -80,7 +95,8 @@ type Report struct {
 
 func main() {
 	quick := flag.Bool("quick", false, "shorter scenarios for CI (compare only against a -quick baseline)")
-	baselinePath := flag.String("baseline", "bench/baseline.json", "baseline JSON to compare against (empty to skip)")
+	baselinePath := flag.String("baseline", "auto",
+		"baseline JSON to compare against; \"auto\" picks bench/baseline-quick.json with -quick, bench/baseline.json otherwise (empty to skip)")
 	out := flag.String("o", "", "output path (default BENCH_<date>.json)")
 	wall := flag.Bool("wall", false, "also enforce wall-clock (_ns) comparisons against the baseline")
 	flag.Parse()
@@ -101,12 +117,18 @@ func main() {
 	rep.Scenarios = append(rep.Scenarios, traceOverhead(*quick))
 	fmt.Println("bench: mpc_sweeps")
 	rep.Scenarios = append(rep.Scenarios, mpcSweeps(*quick))
+	fmt.Println("bench: event_engine")
+	rep.Scenarios = append(rep.Scenarios, eventEngine(*quick))
 	fmt.Println("bench: cluster_sweep")
 	rep.Scenarios = append(rep.Scenarios, clusterSweep(*quick))
 	fmt.Println("bench: cluster_link")
 	rep.Scenarios = append(rep.Scenarios, clusterLink(*quick))
 	fmt.Println("bench: cluster_hier")
 	rep.Scenarios = append(rep.Scenarios, clusterHier(*quick))
+
+	for i := range rep.Scenarios {
+		rep.Scenarios[i].GOMAXPROCS = rep.GOMAXPROCS
+	}
 
 	for _, s := range rep.Scenarios {
 		fmt.Printf("%s:\n", s.Name)
@@ -128,8 +150,16 @@ func main() {
 	}
 	fmt.Printf("bench: wrote %s\n", path)
 
-	if *baselinePath != "" {
-		if code := compare(rep, *baselinePath, *wall); code != 0 {
+	bp := *baselinePath
+	if bp == "auto" {
+		if *quick {
+			bp = "bench/baseline-quick.json"
+		} else {
+			bp = "bench/baseline.json"
+		}
+	}
+	if bp != "" {
+		if code := compare(rep, bp, *wall); code != 0 {
 			os.Exit(code)
 		}
 	}
@@ -335,53 +365,208 @@ func mpcSweeps(quick bool) Scenario {
 	}}
 }
 
-// clusterSweep is the pinned multi-rack scenario: wall time of the current
-// parallel path vs the current serial path vs the legacy cold-QP serial
-// path (the pre-optimization behavior), plus two bit-identical checks —
-// parallel vs serial on the current solver, and parallel vs serial on the
-// legacy solver (proving the fan-out machinery reproduces the pre-PR
-// serial results exactly; the warm solver itself agrees within KKT
-// tolerance, not bit for bit — see DESIGN.md §10).
-func clusterSweep(quick bool) Scenario {
-	cfg := cluster.DefaultConfig()
-	if quick {
-		cfg.Scenario.DurationS = 300
-		cfg.NumRacks = 2
+// diurnalScenario builds the pinned event-engine workload: deterministic
+// plant (no monitor noise, utilization jitter or ambient swing) under a
+// stepped-diurnal demand trace whose plateau levels sit in the settling
+// regime (the capped closed loop reaches an exact fixed point there; at
+// lighter levels the quantized batch actuator hunts forever and the event
+// engine honestly refuses to fast-forward). Rack index i offsets the seeds
+// the way cluster and hier sweeps do.
+func diurnalScenario(i int, durationS, plateauS float64) sim.Scenario {
+	scn := sim.DefaultScenario()
+	scn.DurationS = durationS
+	scn.BurstDurationS = durationS
+	scn.AmbientSwingC = 0
+	scn.Rack.MonitorNoiseStd = 0
+	scn.Rack.UtilJitterStd = 0
+	scn.BatchSpecs = workload.SteadyStateSpecs()
+	tr, err := workload.SteppedDiurnal([]float64{0.5, 0.62, 0.75, 0.55}, plateauS, durationS, scn.DtS)
+	if err != nil {
+		fatal(err)
 	}
+	scn.Trace = tr
+	g := int64(i)
+	scn.Interactive.Seed += g
+	scn.Rack.Seed += g
+	scn.Faults.Seed += g
+	return scn
+}
 
-	timeRun := func(c cluster.Config) (*cluster.Result, float64) {
-		t0 := time.Now()
-		res, err := cluster.Run(c)
+// noSprintConfig is the policy for the diurnal scenarios: classic power
+// capping at the breaker rating, which is the regime where quiescent spans
+// open (an active overload schedule keeps the plant moving).
+func noSprintConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.NoSprint = true
+	return cfg
+}
+
+// seriesBitIdentical reports 1 when every recorded series column of the two
+// results is bit-for-bit equal, else 0.
+func seriesBitIdentical(a, b *sim.Result) float64 {
+	x, y := &a.Series, &b.Series
+	cols := [][2][]float64{
+		{x.Time, y.Time}, {x.TotalW, y.TotalW}, {x.CBW, y.CBW},
+		{x.UPSW, y.UPSW}, {x.PCbW, y.PCbW}, {x.PBatchW, y.PBatchW},
+		{x.FreqInter, y.FreqInter}, {x.FreqBatch, y.FreqBatch},
+		{x.SoC, y.SoC}, {x.Demand, y.Demand},
+	}
+	for _, c := range cols {
+		if len(c[0]) != len(c[1]) {
+			return 0
+		}
+		for i := range c[0] {
+			if math.Float64bits(c[0][i]) != math.Float64bits(c[1][i]) {
+				return 0
+			}
+		}
+	}
+	return 1
+}
+
+// eventEngine pins the discrete-event engine against the tick engine on a
+// single-rack diurnal run: bitwise identity of the recorded series, the
+// in-process speedup, the fraction of plant ticks the engine closed
+// analytically, and the marginal heap allocations per discrete event.
+//
+// The allocation metric is a two-point measurement: two event runs whose
+// durations differ 2× but whose series stride scales with duration, so both
+// record the same number of ticks and every per-run and series-append
+// allocation cancels in the difference. What remains is the steady-state
+// marginal cost of planning and closing additional spans — the zero-alloc
+// contract of the event core.
+func eventEngine(quick bool) Scenario {
+	d1 := 7200.0
+	if quick {
+		d1 = 3600
+	}
+	d2 := 2 * d1
+	cfg := noSprintConfig()
+
+	countAllocs := func(durationS float64) (float64, *sim.Result) {
+		scn := diurnalScenario(0, durationS, 900)
+		stride := int(durationS) / 12
+		p := core.New(cfg)
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		res, err := sim.RunWith(scn, p, sim.RunOptions{Engine: "event", SeriesStride: stride, DropEvents: true})
+		runtime.ReadMemStats(&m1)
 		if err != nil {
 			fatal(err)
 		}
-		return res, float64(time.Since(t0).Nanoseconds())
+		return float64(m1.Mallocs - m0.Mallocs), res
+	}
+	countAllocs(d1) // warm-up: page in code paths, steady the heap
+	a1, r1 := countAllocs(d1)
+	a2, r2 := countAllocs(d2)
+	dEvents := float64(r2.Engine.Events - r1.Engine.Events)
+	allocsPerEvent := (a2 - a1) / math.Max(1, dEvents)
+	if allocsPerEvent < 0 {
+		allocsPerEvent = 0
 	}
 
-	legacyCfg := cfg
-	legacyCfg.Serial = true
-	legacyCfg.SprintCon.LegacyQP = true
-	legacySerialRes, legacyNs := timeRun(legacyCfg)
+	scn := diurnalScenario(0, d1, 900)
+	p := core.New(cfg)
+	t0 := time.Now()
+	tickRes, err := sim.RunWith(scn, p, sim.RunOptions{Engine: "tick"})
+	tickNs := float64(time.Since(t0).Nanoseconds())
+	if err != nil {
+		fatal(err)
+	}
+	p = core.New(cfg)
+	t0 = time.Now()
+	eventRes, err := sim.RunWith(scn, p, sim.RunOptions{Engine: "event"})
+	eventNs := float64(time.Since(t0).Nanoseconds())
+	if err != nil {
+		fatal(err)
+	}
 
-	legacyParCfg := legacyCfg
-	legacyParCfg.Serial = false
-	legacyParRes, _ := timeRun(legacyParCfg)
+	totalTicks := scn.DurationS / scn.DtS
+	return Scenario{Name: "event_engine", Metrics: map[string]float64{
+		"bit_identical":      seriesBitIdentical(tickRes, eventRes),
+		"speedup_event":      tickNs / math.Max(1, eventNs),
+		"tick_ns":            tickNs,
+		"event_ns":           eventNs,
+		"spans":              float64(eventRes.Engine.Spans),
+		"ticks_skipped_frac": float64(eventRes.Engine.TicksSkipped) / totalTicks,
+		"allocs_per_event":   allocsPerEvent,
+	}}
+}
 
-	serialCfg := cfg
-	serialCfg.Serial = true
-	serialRes, serialNs := timeRun(serialCfg)
+// clusterSweep is the tentpole scale scenario: a 1000-rack day-long
+// stepped-diurnal fleet (hourly plateaus) run rack-independent under the
+// event engine on the worker pool. A rack subset runs serially under both
+// engines for the in-process engine speedup and a bit-identical check at
+// every control period (the subset records every control boundary; the
+// recorded P_cb/P_batch targets are the controller's decisions, so bitwise
+// equality pins decision equivalence there).
+func clusterSweep(quick bool) Scenario {
+	racks, durationS, subset := 1000, 86400.0, 8
+	if quick {
+		racks, durationS, subset = 24, 7200.0, 2
+	}
+	const plateauS = 3600
+	cfg := noSprintConfig()
+	// Record every control-period boundary on the subset runs: with dt=1 s
+	// and the 4 s control period, stride 4 lands every recorded tick on a
+	// controller decision.
+	ctlStride := int(cfg.ControlPeriodS / sim.DefaultScenario().DtS)
 
-	parRes, parNs := timeRun(cfg)
+	bitIdentical := 1.0
+	var tickNs, eventNs float64
+	for i := 0; i < subset; i++ {
+		scn := diurnalScenario(i, durationS, plateauS)
+		t0 := time.Now()
+		tickRes, err := sim.RunWith(scn, core.New(cfg), sim.RunOptions{Engine: "tick", SeriesStride: ctlStride})
+		tickNs += float64(time.Since(t0).Nanoseconds())
+		if err != nil {
+			fatal(err)
+		}
+		t0 = time.Now()
+		eventRes, err := sim.RunWith(scn, core.New(cfg), sim.RunOptions{Engine: "event", SeriesStride: ctlStride})
+		eventNs += float64(time.Since(t0).Nanoseconds())
+		if err != nil {
+			fatal(err)
+		}
+		if seriesBitIdentical(tickRes, eventRes) == 0 {
+			bitIdentical = 0
+		}
+	}
+
+	// The full fleet, rack-independent on the worker pool, event engine,
+	// hourly series stride (memory stays bounded at building scale).
+	jobs := make([]sim.Job, racks)
+	for i := range jobs {
+		jobs[i] = sim.Job{
+			Key:      fmt.Sprintf("rack%d", i),
+			Scenario: diurnalScenario(i, durationS, plateauS),
+			Policy:   core.New(cfg),
+			Opts:     sim.RunOptions{Engine: "event", SeriesStride: 3600},
+		}
+	}
+	t0 := time.Now()
+	results, err := sim.RunManyOrdered(jobs)
+	fleetNs := float64(time.Since(t0).Nanoseconds())
+	if err != nil {
+		fatal(err)
+	}
+	var spans, skipped int
+	for _, r := range results {
+		spans += r.Engine.Spans
+		skipped += r.Engine.TicksSkipped
+	}
+	totalTicks := float64(racks) * durationS / sim.DefaultScenario().DtS
 
 	return Scenario{Name: "cluster_sweep", Metrics: map[string]float64{
-		"legacy_serial_ns":     legacyNs,
-		"serial_ns":            serialNs,
-		"parallel_ns":          parNs,
-		"speedup_vs_legacy":    legacyNs / math.Max(1, parNs),
-		"speedup_warm":         legacyNs / math.Max(1, serialNs),
-		"parallel_speedup":     serialNs / math.Max(1, parNs),
-		"bit_identical":        racksEqual(parRes, serialRes),
-		"bit_identical_legacy": racksEqual(legacyParRes, legacySerialRes),
+		"racks":              float64(racks),
+		"bit_identical":      bitIdentical,
+		"speedup_event":      tickNs / math.Max(1, eventNs),
+		"tick_subset_ns":     tickNs,
+		"event_subset_ns":    eventNs,
+		"fleet_event_ns":     fleetNs,
+		"spans":              float64(spans),
+		"ticks_skipped_frac": float64(skipped) / totalTicks,
 	}}
 }
 
@@ -595,16 +780,25 @@ func loadBaseline(path string) (Report, error) {
 // compare checks the report against the baseline and returns 1 on
 // regression. Rules by metric name:
 //
-//	allocs_per_tick       — may not exceed baseline + 0.01
+//	allocs_per_tick, allocs_per_event — may not exceed baseline + 0.01
 //	bit_identical*        — may not drop below baseline
-//	*sweeps*, *unconverged* (lower better) — may not exceed baseline × 1.2
+//	*sweeps* (not "spans"), *unconverged* (lower better) — may not exceed
+//	                        baseline × 1.2
 //	speedup_*, sweep_reduction (higher better) — may not drop below × 0.8
+//	ticks_skipped_frac (higher better) — may not drop below × 0.9 (the
+//	                        event engine must keep closing spans)
 //	*_overhead (in-process wall ratio, lower better) — may not exceed
 //	                        × 1.3 (both sides measured in the same process,
 //	                        so the ratio survives machine changes)
 //	degraded_s, feeder_trips — may not exceed baseline (zero in the pinned
 //	                        fault-free link scenario)
 //	*_ns (wall clock)     — only with -wall: may not exceed × 1.2
+//
+// A scenario whose GOMAXPROCS differs from the baseline's is skipped with a
+// warning: parallel-path ratios measured at different core counts are not
+// comparable, and silently holding them to the old bound would gate on the
+// machine, not the code. (Baselines without per-scenario core counts —
+// written before the field existed — compare as before.)
 func compare(rep Report, path string, wall bool) int {
 	base, err := loadBaseline(path)
 	if err != nil {
@@ -620,16 +814,23 @@ func compare(rep Report, path string, wall bool) int {
 		return 0
 	}
 
-	baseMetrics := map[string]map[string]float64{}
+	baseScenarios := map[string]Scenario{}
 	for _, s := range base.Scenarios {
-		baseMetrics[s.Name] = s.Metrics
+		baseScenarios[s.Name] = s
 	}
 	regressions := 0
 	for _, s := range rep.Scenarios {
-		bm := baseMetrics[s.Name]
-		if bm == nil {
+		bs, ok := baseScenarios[s.Name]
+		if !ok || bs.Metrics == nil {
 			continue
 		}
+		if bs.GOMAXPROCS != 0 && bs.GOMAXPROCS != s.GOMAXPROCS {
+			fmt.Fprintf(os.Stderr,
+				"bench: WARNING %s: baseline ran at GOMAXPROCS=%d, this run at %d; skipping its comparisons (not comparable across core counts)\n",
+				s.Name, bs.GOMAXPROCS, s.GOMAXPROCS)
+			continue
+		}
+		bm := bs.Metrics
 		for name, cur := range s.Metrics {
 			ref, ok := bm[name]
 			if !ok {
@@ -638,7 +839,7 @@ func compare(rep Report, path string, wall bool) int {
 			bad := false
 			var rule string
 			switch {
-			case name == "allocs_per_tick":
+			case name == "allocs_per_tick" || name == "allocs_per_event":
 				bad = cur > ref+0.01
 				rule = "must not exceed baseline"
 			case strings.HasPrefix(name, "bit_identical"):
@@ -656,6 +857,9 @@ func compare(rep Report, path string, wall bool) int {
 			case strings.HasPrefix(name, "speedup") || name == "sweep_reduction" || name == "parallel_speedup":
 				bad = cur < ref*0.8
 				rule = ">20% speedup loss"
+			case name == "ticks_skipped_frac":
+				bad = cur < ref*0.9
+				rule = ">10% span-coverage loss"
 			case strings.HasSuffix(name, "_overhead"):
 				bad = cur > ref*1.3
 				rule = ">30% overhead growth"

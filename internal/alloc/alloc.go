@@ -26,6 +26,8 @@ import (
 	"errors"
 	"math"
 	"slices"
+
+	"sprintcon/internal/engine"
 )
 
 // AdaptMode selects how the interactive reserve is adapted.
@@ -458,6 +460,47 @@ func clampF(v, lo, hi float64) float64 {
 		return hi
 	}
 	return v
+}
+
+// NextBudgetEdge returns the absolute time of the next point at which the
+// CB budget schedule PCb(·) can change value, or +Inf when the schedule is
+// constant in time (no burst, uncontrolled short burst, or a single constant
+// mid-burst overload). The event engine uses this as its policy-edge
+// barrier: a quiescent span must not be fast-forwarded across an
+// overload↔recovery transition.
+func (a *Allocator) NextBudgetEdge(now float64) float64 {
+	if !a.started || a.burstDur <= a.cfg.MidBurstS {
+		return math.Inf(1)
+	}
+	cycle := a.cfg.OverloadS + a.cfg.RecoveryS
+	phase := math.Mod(now-a.burstStart+a.cfg.PhaseOffsetS, cycle)
+	if phase < 0 {
+		phase += cycle
+	}
+	if phase < a.cfg.OverloadS {
+		return now + (a.cfg.OverloadS - phase)
+	}
+	return now + (cycle - phase)
+}
+
+// QuiescenceDigest appends the allocator state that must be bit-stable for
+// a quiescent span to the digest. The adaptation-window bookkeeping
+// (lastUpdate, samples, samplesHigh, qScratch) is deliberately excluded:
+// the event engine replays ObserveHeadroom and MaybeUpdatePBatch exactly
+// across a span, so that state evolves identically whether or not ticks are
+// fast-forwarded, while the digested fields are proven rewritten-identically
+// at a certified fixed point.
+func (a *Allocator) QuiescenceDigest(d *engine.Digest) {
+	d.F64(a.burstStart)
+	d.F64(a.burstDur)
+	d.Bool(a.started)
+	d.F64(a.idleW)
+	d.F64(a.reserveW)
+	d.F64(a.shiftW)
+	d.F64(a.bMin)
+	d.F64(a.bMax)
+	d.F64(a.conf)
+	d.F64(a.cfg.PhaseOffsetS)
 }
 
 // SetReserve overrides the interactive reserve (supervisor degraded modes).

@@ -154,6 +154,15 @@ type MPC struct {
 	warmX    mathx.Vector
 	warmMask []bool
 	warmOK   bool
+
+	// H generation for the QP's Cholesky factor cache (qp.Options.HGen).
+	// The Hessian is a pure function of the fixed configuration and the
+	// per-core R weights, so hGen advances exactly when the weights change
+	// bit-wise; lastRW holds the weights the current generation was minted
+	// for. A model rebuild constructs a fresh MPC (and workspace), so
+	// cached factors can never outlive the H they were computed from.
+	hGen   uint64
+	lastRW []float64
 }
 
 // SolveStats reports the diagnostics of the most recent Step, for the
@@ -252,6 +261,7 @@ func (m *MPC) StepLocked(pfbW, pTargetW float64, freqs, rweights []float64, lock
 	if locked != nil && len(locked) != n {
 		return nil, fmt.Errorf("control: Step got %d locked flags for %d cores", len(locked), n)
 	}
+	m.refreshHGen(rweights)
 	if m.cfg.FullHorizon {
 		return m.stepFullHorizon(pfbW, pTargetW, freqs, rweights, locked)
 	}
@@ -405,6 +415,31 @@ func (m *MPC) stepFullHorizon(pfbW, pTargetW float64, freqs, rweights []float64,
 // full-horizon formulation; real deployments use L_c of 2–4.
 const maxControlHorizon = 32
 
+// refreshHGen advances the H generation when the per-core R weights differ
+// bit-wise from the ones the current generation was minted for. Equality is
+// exact (Float64bits), never tolerance-based: a one-ulp weight change
+// changes H and must invalidate cached factors.
+func (m *MPC) refreshHGen(rweights []float64) {
+	if len(m.lastRW) == len(rweights) {
+		same := true
+		for i, w := range rweights {
+			if math.Float64bits(m.lastRW[i]) != math.Float64bits(w) {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+	}
+	m.hGen++
+	m.lastRW = append(m.lastRW[:0], rweights...)
+}
+
+// FactorCacheStats returns the QP workspace's Cholesky factor cache
+// counters, for the qp_cache_hits / qp_cache_evictions telemetry gauges.
+func (m *MPC) FactorCacheStats() qp.CacheStats { return m.ws.FactorCacheStats() }
+
 // solve runs the QP over the prepared h/g/lo/hi buffers, warm-starting from
 // the cached previous solution when the configuration allows it and the
 // locked mask is unchanged, and refreshes the cache and LastSolve stats.
@@ -417,7 +452,7 @@ func (m *MPC) solve(locked []bool) (qp.Result, error) {
 		m.last = SolveStats{Sweeps: res.Sweeps, Converged: res.Converged, Objective: res.Objective}
 		return res, nil
 	}
-	opt := qp.Options{Ws: m.ws}
+	opt := qp.Options{Ws: m.ws, HGen: m.hGen}
 	warm := false
 	if m.cfg.WarmStart && m.warmOK && maskUnchanged(m.warmMask, locked) {
 		opt.Warm = m.warmX

@@ -621,7 +621,7 @@ func (s *SprintCon) serverPowerControl(env *sim.Env, snap sim.Snapshot, pcb, pIn
 		target = clamp(pfb+safe-snap.MeasuredTotalW, 0, s.pBatchMax)
 		s.allocator.SetReserve(pInterEst)
 	}
-	if env.Events != nil && math.Abs(target-s.curPBatch) > 0.10*math.Max(1, s.curPBatch) {
+	if env.Events != nil && env.Events.Enabled() && math.Abs(target-s.curPBatch) > 0.10*math.Max(1, s.curPBatch) {
 		env.Events.Logf("pbatch", "batch budget %.0f W → %.0f W (reserve %.0f W, shift %+.0f W)",
 			s.curPBatch, target, s.allocator.InteractiveReserveW(), s.allocator.DeadlineShiftW())
 	}
@@ -657,6 +657,9 @@ func (s *SprintCon) serverPowerControl(env *sim.Env, snap sim.Snapshot, pcb, pIn
 			if !stats.Converged {
 				s.tm.qpUnconverged.Inc()
 			}
+			cache := s.mpc.FactorCacheStats()
+			s.tm.qpCacheHits.Set(float64(cache.Hits))
+			s.tm.qpCacheEvictions.Set(float64(cache.Evictions))
 		}
 	}
 	if err != nil {

@@ -148,9 +148,16 @@ type Core struct {
 
 // CPU is a set of cores sharing one P-state table, with per-core DVFS
 // (paper Section IV-D: DVFS is applied per core for small overhead).
+//
+// The per-core state is stored struct-of-arrays — parallel freqs/utils/
+// classes slices — so the per-tick plant math (power summation, batch
+// frequency writes) runs as contiguous slice sweeps instead of strided
+// struct walks. Core(i) reassembles the array-of-structs view on demand.
 type CPU struct {
-	table PStateTable
-	cores []Core
+	table   PStateTable
+	freqs   []float64
+	utils   []float64
+	classes []Class
 }
 
 // New returns a CPU with n idle cores at the lowest P-state.
@@ -161,43 +168,60 @@ func New(n int, table PStateTable) (*CPU, error) {
 	if table.Len() == 0 {
 		return nil, errors.New("cpu: empty P-state table")
 	}
-	cores := make([]Core, n)
-	for i := range cores {
-		cores[i] = Core{Freq: table.Min(), Class: Idle}
+	freqs := make([]float64, n)
+	for i := range freqs {
+		freqs[i] = table.Min()
 	}
-	return &CPU{table: table, cores: cores}, nil
+	return &CPU{
+		table:   table,
+		freqs:   freqs,
+		utils:   make([]float64, n),
+		classes: make([]Class, n),
+	}, nil
 }
 
 // NumCores returns the number of cores.
-func (c *CPU) NumCores() int { return len(c.cores) }
+func (c *CPU) NumCores() int { return len(c.freqs) }
 
 // Table returns the P-state table.
 func (c *CPU) Table() PStateTable { return c.table }
 
 // Core returns core i's state.
-func (c *CPU) Core(i int) Core { return c.cores[i] }
+func (c *CPU) Core(i int) Core {
+	return Core{Freq: c.freqs[i], Util: c.utils[i], Class: c.classes[i]}
+}
+
+// Freqs returns the per-core frequency slice. It is live state shared with
+// the CPU — read-only for callers; use SetFreq to mutate.
+func (c *CPU) Freqs() []float64 { return c.freqs }
+
+// Utils returns the per-core utilization slice (live, read-only).
+func (c *CPU) Utils() []float64 { return c.utils }
+
+// Classes returns the per-core class slice (live, read-only).
+func (c *CPU) Classes() []Class { return c.classes }
 
 // SetFreq requests frequency f on core i; the applied (quantized) frequency
 // is returned. This is the paper's "server modulator" writing a frequency.
 func (c *CPU) SetFreq(i int, f float64) float64 {
 	q := c.table.Quantize(f)
-	c.cores[i].Freq = q
+	c.freqs[i] = q
 	return q
 }
 
 // SetUtil records core i's measured utilization, clamped to [0, 1].
 func (c *CPU) SetUtil(i int, u float64) {
-	c.cores[i].Util = math.Min(1, math.Max(0, u))
+	c.utils[i] = math.Min(1, math.Max(0, u))
 }
 
 // SetClass assigns the workload class of core i.
-func (c *CPU) SetClass(i int, cl Class) { c.cores[i].Class = cl }
+func (c *CPU) SetClass(i int, cl Class) { c.classes[i] = cl }
 
 // CoresOf returns the indices of cores with the given class, in order.
 func (c *CPU) CoresOf(cl Class) []int {
 	var out []int
-	for i := range c.cores {
-		if c.cores[i].Class == cl {
+	for i, cc := range c.classes {
+		if cc == cl {
 			out = append(out, i)
 		}
 	}
@@ -209,9 +233,9 @@ func (c *CPU) CoresOf(cl Class) []int {
 func (c *CPU) MeanFreqOf(cl Class) float64 {
 	var sum float64
 	var n int
-	for i := range c.cores {
-		if c.cores[i].Class == cl {
-			sum += c.cores[i].Freq
+	for i, cc := range c.classes {
+		if cc == cl {
+			sum += c.freqs[i]
 			n++
 		}
 	}
@@ -226,9 +250,9 @@ func (c *CPU) MeanFreqOf(cl Class) float64 {
 func (c *CPU) MeanUtilOf(cl Class) float64 {
 	var sum float64
 	var n int
-	for i := range c.cores {
-		if c.cores[i].Class == cl {
-			sum += c.cores[i].Util
+	for i, cc := range c.classes {
+		if cc == cl {
+			sum += c.utils[i]
 			n++
 		}
 	}

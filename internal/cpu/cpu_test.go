@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"sprintcon/internal/mathx"
 )
 
 func TestNewPStateTableValidation(t *testing.T) {
@@ -144,5 +146,33 @@ func TestNewValidation(t *testing.T) {
 	}
 	if _, err := New(4, PStateTable{}); err == nil {
 		t.Error("empty table should fail")
+	}
+}
+
+// The mathx batch-quantization kernel must agree bitwise with the scalar
+// P-state quantizer at every input — it is the struct-of-arrays counterpart
+// of Quantize, and any drift between the two would let a vectorized plant
+// path diverge from the per-core model.
+func TestQuantizeSliceParityWithTable(t *testing.T) {
+	table := DefaultPStates()
+	grid := table.Freqs()
+
+	var in []float64
+	for f := -0.3; f <= 2.6; f += 0.007 {
+		in = append(in, f)
+	}
+	in = append(in, grid...) // exact P-states map to themselves
+	for i := 1; i < len(grid); i++ {
+		in = append(in, (grid[i-1]+grid[i])/2) // midpoints: ties round up
+	}
+
+	got := make([]float64, len(in))
+	copy(got, in)
+	mathx.QuantizeSlice(got, grid)
+	for i, f := range in {
+		want := table.Quantize(f)
+		if math.Float64bits(got[i]) != math.Float64bits(want) {
+			t.Fatalf("input %v: kernel %v, scalar %v", f, got[i], want)
+		}
 	}
 }

@@ -1,0 +1,97 @@
+// Package engine provides the primitives of the discrete-event simulation
+// core (DESIGN.md §15): a streaming state digest used to certify exact
+// floating-point fixed points of the controller + plant state machine, and a
+// deterministic event queue that merges the barrier events — workload phase
+// edges, control-period and allocator budget boundaries, fault onsets and
+// clears, checkpoint-capture deadlines, run end — bounding each quiescent
+// span. The package is a leaf: control and core hash their state into a
+// Digest without importing the simulation engine.
+package engine
+
+import "math"
+
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// Digest is a streaming FNV-1a (64-bit) hash over typed values. Two state
+// vectors hash equal only if every appended value is bit-identical (floats
+// compare by their IEEE-754 bit patterns, so −0 ≠ +0 and NaN payloads
+// matter — the strict direction for fixed-point certification). The zero
+// value is NOT ready; use NewDigest or Reset.
+type Digest struct {
+	h uint64
+}
+
+// NewDigest returns an initialized digest.
+func NewDigest() Digest {
+	return Digest{h: fnvOffset64}
+}
+
+// Reset reinitializes the digest.
+func (d *Digest) Reset() {
+	d.h = fnvOffset64
+}
+
+// Sum returns the hash of everything appended so far.
+func (d *Digest) Sum() uint64 {
+	return d.h
+}
+
+// U64 appends one 64-bit word, low byte first.
+func (d *Digest) U64(v uint64) {
+	h := d.h
+	h = (h ^ (v & 0xff)) * fnvPrime64
+	h = (h ^ ((v >> 8) & 0xff)) * fnvPrime64
+	h = (h ^ ((v >> 16) & 0xff)) * fnvPrime64
+	h = (h ^ ((v >> 24) & 0xff)) * fnvPrime64
+	h = (h ^ ((v >> 32) & 0xff)) * fnvPrime64
+	h = (h ^ ((v >> 40) & 0xff)) * fnvPrime64
+	h = (h ^ ((v >> 48) & 0xff)) * fnvPrime64
+	h = (h ^ (v >> 56)) * fnvPrime64
+	d.h = h
+}
+
+// F64 appends one float64 by bit pattern.
+func (d *Digest) F64(v float64) {
+	d.U64(math.Float64bits(v))
+}
+
+// F64s appends a float64 slice, length first (so [a][b] ≠ [a,b][]).
+func (d *Digest) F64s(vs []float64) {
+	d.U64(uint64(len(vs)))
+	for _, v := range vs {
+		d.U64(math.Float64bits(v))
+	}
+}
+
+// Int appends one int.
+func (d *Digest) Int(v int) {
+	d.U64(uint64(int64(v)))
+}
+
+// Ints appends an int slice, length first.
+func (d *Digest) Ints(vs []int) {
+	d.U64(uint64(len(vs)))
+	for _, v := range vs {
+		d.U64(uint64(int64(v)))
+	}
+}
+
+// Bool appends one bool.
+func (d *Digest) Bool(v bool) {
+	if v {
+		d.U64(1)
+	} else {
+		d.U64(0)
+	}
+}
+
+// Bools appends a bool slice, length first.
+func (d *Digest) Bools(vs []bool) {
+	d.U64(uint64(len(vs)))
+	for _, v := range vs {
+		d.Bool(v)
+	}
+}

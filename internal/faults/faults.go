@@ -442,6 +442,84 @@ func (in *Injector) anyActive(k Kind) (Fault, bool) {
 	return best, found
 }
 
+// AnyFaultActive reports whether any scheduled fault is currently active.
+// The event engine only opens quiescent spans while the injector is fully
+// inactive, so the per-tick corruption pipeline is provably the identity.
+func (in *Injector) AnyFaultActive() bool {
+	for _, a := range in.active {
+		if a {
+			return true
+		}
+	}
+	return false
+}
+
+// StableTicks returns a conservative count of upcoming ticks of size dt,
+// starting at time now0, during which no fault's active state can change:
+// every scheduled onset and clear lies strictly beyond the returned horizon.
+// The result is capped at maxTicks. This is the event engine's
+// fault-transition barrier.
+func (in *Injector) StableTicks(now0, dt float64, maxTicks int) int {
+	min := maxTicks
+	for i, f := range in.plan.Faults {
+		var limit float64
+		switch {
+		case in.active[i]:
+			limit = f.OnsetS + f.DurationS // next transition: the clear
+		case now0 >= f.OnsetS+f.DurationS:
+			continue // onset and clear both in the past
+		default:
+			// The onset is the next transition. It may already be at or
+			// before now0 (the injector applies it on the *next* Step), in
+			// which case the horizon below clamps to zero ticks.
+			limit = f.OnsetS
+		}
+		// Ticks k = 1..n probe times now0+k·dt; the last safe tick must
+		// stay strictly below the transition, and the −1 absorbs the
+		// boundary tick itself.
+		n := int((limit-now0)/dt) - 1
+		if n < min {
+			min = n
+		}
+	}
+	if min < 0 {
+		min = 0
+	}
+	return min
+}
+
+// AdvanceConstant replays n ticks of the no-fault FilterMeasurement path
+// with a constant raw reading: the delay ring buffer absorbs n pushes of
+// raw, the freeze latch clears, and lastRaw becomes raw — bit-identical to
+// n FilterMeasurement(raw) calls with no fault active, in O(buffer) instead
+// of O(n). The event engine uses it to keep the monitor-corruption state
+// exact across a fast-forwarded quiescent span.
+func (in *Injector) AdvanceConstant(raw float64, n int) {
+	if n <= 0 {
+		return
+	}
+	const maxDelaySteps = 128
+	if in.delayBuf == nil {
+		in.delayBuf = make([]float64, maxDelaySteps)
+	}
+	if n >= len(in.delayBuf) {
+		for i := range in.delayBuf {
+			in.delayBuf[i] = raw
+		}
+		in.delayN = len(in.delayBuf)
+	} else {
+		for k := 0; k < n; k++ {
+			in.delayBuf[(in.delayHead+k)%len(in.delayBuf)] = raw
+		}
+		if in.delayN += n; in.delayN > len(in.delayBuf) {
+			in.delayN = len(in.delayBuf)
+		}
+	}
+	in.delayHead = (in.delayHead + n) % len(in.delayBuf)
+	in.haveFrozen = false
+	in.lastRaw = raw
+}
+
 // FilterMeasurement corrupts one rack power-monitor reading according to the
 // active monitor faults. Must be called exactly once per tick with the raw
 // reading (it is stateful: the delay buffer and freeze value advance).

@@ -1,0 +1,110 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+// StableTicks must be sound: no Step within the reported horizon may return
+// an onset or a clear.
+func TestStableTicksSound(t *testing.T) {
+	plan := Plan{Faults: []Fault{
+		{Kind: MonitorBias, OnsetS: 40, DurationS: 25, Severity: 0.1},
+		{Kind: MonitorFreeze, OnsetS: 100, DurationS: 10},
+		{Kind: UPSPathFailure, OnsetS: 41, DurationS: 3},
+	}}
+	in := NewInjector(plan, 1)
+	const dt = 1.0
+	for step := 0; step < 200; {
+		n := in.StableTicks(float64(step)*dt, dt, 200-step)
+		for k := 1; k <= n; k++ {
+			onsets, clears := in.Step(float64(step+k) * dt)
+			if len(onsets) != 0 || len(clears) != 0 {
+				t.Fatalf("transition at tick %d inside a %d-tick stable horizon from step %d", k, n, step)
+			}
+		}
+		step += n
+		in.Step(float64(step) * dt)
+		step++
+	}
+}
+
+// An onset at or just before now0 (not yet applied by Step) must clamp the
+// horizon to zero, not be treated as already cleared.
+func TestStableTicksImminentOnset(t *testing.T) {
+	in := NewInjector(Plan{Faults: []Fault{
+		{Kind: MonitorBias, OnsetS: 50, DurationS: 30, Severity: 0.1},
+	}}, 1)
+	if n := in.StableTicks(50, 1, 1000); n != 0 {
+		t.Fatalf("onset at now0: horizon %d, want 0", n)
+	}
+	if n := in.StableTicks(49.5, 1, 1000); n != 0 {
+		t.Fatalf("onset inside first tick: horizon %d, want 0", n)
+	}
+	// Fully in the past (onset+duration elapsed): unbounded.
+	if n := in.StableTicks(90, 1, 1000); n != 1000 {
+		t.Fatalf("cleared fault bounded horizon to %d", n)
+	}
+}
+
+// AdvanceConstant must leave the injector bit-identical to n per-tick
+// FilterMeasurement calls with the same constant reading and no active
+// fault — verified behaviorally by comparing the corrupted output streams
+// through a subsequent delay+freeze fault window.
+func TestAdvanceConstantMatchesPerTick(t *testing.T) {
+	plan := Plan{Faults: []Fault{
+		{Kind: MeasurementDelay, OnsetS: 300, DurationS: 40, Severity: 7},
+		{Kind: MonitorFreeze, OnsetS: 360, DurationS: 20},
+	}}
+	for _, n := range []int{1, 5, 127, 128, 129, 300} {
+		a := NewInjector(plan, 1)
+		b := NewInjector(plan, 1)
+		// Shared warm-up with varying readings so the ring buffers hold
+		// real history before the replay window.
+		for k := 0; k < 10; k++ {
+			raw := 3000 + 10*float64(k)
+			a.Step(float64(k))
+			b.Step(float64(k))
+			a.FilterMeasurement(raw)
+			b.FilterMeasurement(raw)
+		}
+		// Replay window: constant reading, no active fault.
+		const raw = 3141.5
+		for k := 0; k < n; k++ {
+			a.FilterMeasurement(raw)
+		}
+		b.AdvanceConstant(raw, n)
+		// Drive both through the delay and freeze windows and compare the
+		// corrupted streams bit for bit.
+		for k := 0; k < 130; k++ {
+			now := 295 + float64(k)
+			in := 3000 + 7*float64(k)
+			a.Step(now)
+			b.Step(now)
+			av := a.FilterMeasurement(in)
+			bv := b.FilterMeasurement(in)
+			if math.Float64bits(av) != math.Float64bits(bv) {
+				t.Fatalf("n=%d: corrupted stream diverged at tick %d: %v vs %v", n, k, av, bv)
+			}
+		}
+	}
+}
+
+// AnyFaultActive must track Step transitions.
+func TestAnyFaultActive(t *testing.T) {
+	in := NewInjector(Plan{Faults: []Fault{
+		{Kind: MonitorBias, OnsetS: 10, DurationS: 5, Severity: 0.1},
+	}}, 1)
+	in.Step(9)
+	if in.AnyFaultActive() {
+		t.Fatal("active before onset")
+	}
+	in.Step(10)
+	if !in.AnyFaultActive() {
+		t.Fatal("inactive at onset")
+	}
+	in.Step(15)
+	if in.AnyFaultActive() {
+		t.Fatal("active after clear")
+	}
+}

@@ -59,7 +59,8 @@ type Config struct {
 	// and racks. Must be empty or have one entry per row.
 	Obs []*obs.Cluster
 	// RackOptions, when non-nil, supplies per-rack run options for
-	// RunLinked — the hook sprintd uses to attach decision-trace sinks.
+	// RunLinked and RunSweep — the hook sprintd uses to attach
+	// decision-trace sinks, and sweeps use to select the event engine.
 	RackOptions func(row, rack int) sim.RunOptions
 	// OnRowTick, when non-nil, is called after every lock-step tick of
 	// every row with that row's id, step index, simulated time and feeder

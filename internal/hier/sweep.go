@@ -84,11 +84,17 @@ func RunSweep(c Config) (*SweepResult, error) {
 	}
 	for r := range a.Rows {
 		n := a.Rows[r].Racks
+		opts := func(j int) sim.RunOptions {
+			if c.RackOptions == nil {
+				return sim.RunOptions{}
+			}
+			return c.RackOptions(r, j)
+		}
 		if c.Serial {
 			out.Rows[r] = make([]*sim.Result, n)
 			for j := 0; j < n; j++ {
 				scn, p := sweepJob(c, a, r, j)
-				res, err := sim.Run(scn, p)
+				res, err := sim.RunWith(scn, p, opts(j))
 				if err != nil {
 					return nil, fmt.Errorf("hier: row %d rack %d: %w", r, j, err)
 				}
@@ -98,7 +104,7 @@ func RunSweep(c Config) (*SweepResult, error) {
 			jobs := make([]sim.Job, n)
 			for j := range jobs {
 				scn, p := sweepJob(c, a, r, j)
-				jobs[j] = sim.Job{Key: fmt.Sprintf("row%d-rack%d", r, j), Scenario: scn, Policy: p}
+				jobs[j] = sim.Job{Key: fmt.Sprintf("row%d-rack%d", r, j), Scenario: scn, Policy: p, Opts: opts(j)}
 			}
 			out.Rows[r], err = sim.RunManyOrdered(jobs)
 			if err != nil {

@@ -1,0 +1,161 @@
+package hier
+
+import (
+	"math"
+	"testing"
+
+	"sprintcon/internal/sim"
+	"sprintcon/internal/workload"
+)
+
+// quiesceSweepConfig builds a small building whose racks the event engine
+// can fast-forward: deterministic plant, piecewise-constant diurnal demand
+// with plateaus in the settling regime, and sprinting disabled so the
+// overload schedule stays invisible.
+func quiesceSweepConfig(t *testing.T, durationS float64) Config {
+	t.Helper()
+	c := DefaultConfig()
+	c.Rows = []RowConfig{{Racks: 3}, {Racks: 2}}
+	c.Scenario.DurationS = durationS
+	c.Scenario.BurstDurationS = durationS
+	c.Scenario.AmbientSwingC = 0
+	c.Scenario.Rack.MonitorNoiseStd = 0
+	c.Scenario.Rack.UtilJitterStd = 0
+	c.Scenario.BatchSpecs = workload.SteadyStateSpecs()
+	tr, err := workload.SteppedDiurnal([]float64{0.5, 0.62, 0.75, 0.55}, 900, durationS, c.Scenario.DtS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Scenario.Trace = tr
+	c.SprintCon.NoSprint = true
+	return c
+}
+
+// bitEqualSweep asserts two sweeps are bit-identical: every per-rack series
+// column, the aggregates at every level, and the safety rollups.
+func bitEqualSweep(t *testing.T, a, b *SweepResult) {
+	t.Helper()
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row count %d != %d", len(a.Rows), len(b.Rows))
+	}
+	for r := range a.Rows {
+		if len(a.Rows[r]) != len(b.Rows[r]) {
+			t.Fatalf("row %d rack count differs", r)
+		}
+		for j := range a.Rows[r] {
+			x, y := &a.Rows[r][j].Series, &b.Rows[r][j].Series
+			cols := []struct {
+				name string
+				a, b []float64
+			}{
+				{"Time", x.Time, y.Time},
+				{"TotalW", x.TotalW, y.TotalW},
+				{"CBW", x.CBW, y.CBW},
+				{"UPSW", x.UPSW, y.UPSW},
+				{"PCbW", x.PCbW, y.PCbW},
+				{"PBatchW", x.PBatchW, y.PBatchW},
+				{"FreqInter", x.FreqInter, y.FreqInter},
+				{"FreqBatch", x.FreqBatch, y.FreqBatch},
+				{"SoC", x.SoC, y.SoC},
+				{"Demand", x.Demand, y.Demand},
+			}
+			for _, c := range cols {
+				if len(c.a) != len(c.b) {
+					t.Fatalf("row %d rack %d %s: length %d vs %d", r, j, c.name, len(c.a), len(c.b))
+				}
+				for i := range c.a {
+					if math.Float64bits(c.a[i]) != math.Float64bits(c.b[i]) {
+						t.Fatalf("row %d rack %d %s[%d]: %v vs %v", r, j, c.name, i, c.a[i], c.b[i])
+					}
+				}
+			}
+		}
+	}
+	for r := range a.RowAggregateW {
+		for i := range a.RowAggregateW[r] {
+			if math.Float64bits(a.RowAggregateW[r][i]) != math.Float64bits(b.RowAggregateW[r][i]) {
+				t.Fatalf("row %d aggregate differs at tick %d", r, i)
+			}
+		}
+	}
+	for i := range a.BuildingAggregateW {
+		if math.Float64bits(a.BuildingAggregateW[i]) != math.Float64bits(b.BuildingAggregateW[i]) {
+			t.Fatalf("building aggregate differs at tick %d", i)
+		}
+	}
+	if a.CBTrips != b.CBTrips || a.DeadlineMisses != b.DeadlineMisses ||
+		math.Float64bits(a.OutageS) != math.Float64bits(b.OutageS) {
+		t.Fatal("safety rollups differ")
+	}
+	if a.BuildingTrips != b.BuildingTrips ||
+		math.Float64bits(a.BuildingExceedFrac) != math.Float64bits(b.BuildingExceedFrac) {
+		t.Fatal("building shadow-breaker scores differ")
+	}
+}
+
+// A sweep under the event engine must be bit-identical to the tick-engine
+// sweep — racks are independent single-rack runs, so the per-rack engine
+// equivalence lifts to every aggregate in the waterfall — and the racks must
+// genuinely fast-forward (spans open, ticks get skipped).
+func TestSweepEventEngineBitIdentical(t *testing.T) {
+	c := quiesceSweepConfig(t, 3600)
+
+	c.Serial = true
+	tick, err := RunSweep(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ce := c
+	ce.Serial = false
+	ce.RackOptions = func(row, rack int) sim.RunOptions {
+		return sim.RunOptions{Engine: "event"}
+	}
+	event, err := RunSweep(ce)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bitEqualSweep(t, tick, event)
+
+	var spans, skipped int
+	for r := range event.Rows {
+		for j, res := range event.Rows[r] {
+			if res.Engine.Name != "event" {
+				t.Fatalf("row %d rack %d ran engine %q", r, j, res.Engine.Name)
+			}
+			spans += res.Engine.Spans
+			skipped += res.Engine.TicksSkipped
+		}
+	}
+	if spans == 0 || skipped == 0 {
+		t.Fatalf("sweep racks never fast-forwarded: spans=%d skipped=%d", spans, skipped)
+	}
+	t.Logf("spans=%d skipped=%d across %d racks", spans, skipped, tick.Alloc.TotalRacks)
+
+	// The serial event sweep matches too: engine choice and scheduling
+	// commute.
+	cs := ce
+	cs.Serial = true
+	serialEvent, err := RunSweep(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitEqualSweep(t, tick, serialEvent)
+}
+
+// An unknown engine name from RackOptions must surface as an error, not run
+// silently on the default engine.
+func TestSweepRejectsUnknownEngine(t *testing.T) {
+	c := quiesceSweepConfig(t, 600)
+	c.RackOptions = func(row, rack int) sim.RunOptions {
+		return sim.RunOptions{Engine: "warp"}
+	}
+	if _, err := RunSweep(c); err == nil {
+		t.Fatal("sweep accepted an unknown engine name")
+	}
+	c.Serial = true
+	if _, err := RunSweep(c); err == nil {
+		t.Fatal("serial sweep accepted an unknown engine name")
+	}
+}

@@ -19,9 +19,7 @@ func NewVector(n int) Vector { return make(Vector, n) }
 // Constant returns a length-n vector with every element set to v.
 func Constant(n int, v float64) Vector {
 	x := make(Vector, n)
-	for i := range x {
-		x[i] = v
-	}
+	FillSlice(x, v)
 	return x
 }
 
@@ -37,11 +35,7 @@ func (x Vector) Dot(y Vector) float64 {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("mathx: Dot length mismatch %d vs %d", len(x), len(y)))
 	}
-	var s float64
-	for i, v := range x {
-		s += v * y[i]
-	}
-	return s
+	return DotSlices(x, y)
 }
 
 // Add returns x + y as a new vector.
@@ -68,12 +62,12 @@ func (x Vector) Sub(y Vector) Vector {
 	return z
 }
 
-// Scale returns a·x as a new vector.
+// Scale returns a·x as a new vector. (Copy-then-scale is bit-identical to
+// the elementwise a·x[i]: IEEE-754 multiplication is commutative.)
 func (x Vector) Scale(a float64) Vector {
 	z := make(Vector, len(x))
-	for i := range x {
-		z[i] = a * x[i]
-	}
+	copy(z, x)
+	ScaleSlice(a, z)
 	return z
 }
 
@@ -82,9 +76,7 @@ func (x Vector) AXPY(a float64, y Vector) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("mathx: AXPY length mismatch %d vs %d", len(x), len(y)))
 	}
-	for i := range x {
-		x[i] += a * y[i]
-	}
+	Axpy(a, y, x)
 }
 
 // Norm2 returns the Euclidean norm of x.
@@ -120,13 +112,7 @@ func (x Vector) NormInf() float64 {
 }
 
 // Sum returns the sum of the elements of x.
-func (x Vector) Sum() float64 {
-	var s float64
-	for _, v := range x {
-		s += v
-	}
-	return s
-}
+func (x Vector) Sum() float64 { return SumSlice(x) }
 
 // Mean returns the arithmetic mean of x, or 0 for an empty vector.
 func (x Vector) Mean() float64 {

@@ -69,6 +69,16 @@ type Options struct {
 	// it must outlive the next call). Workspaces are not safe for
 	// concurrent use.
 	Ws *Workspace
+	// HGen, when non-zero, is the caller's generation tag for the contents
+	// of H: the caller promises that two Solve calls on the same Workspace
+	// carrying the same HGen saw bit-identical H matrices. Under that
+	// promise the active-set solver caches the Cholesky factors of its
+	// free-variable blocks across solves (keyed by generation and free
+	// set), skipping the O(m³) refactorization when the working set
+	// repeats — the common case for a re-solved MPC whose bound pattern is
+	// stable. A reused factor is the bit-identical output of the identical
+	// factorization, so solutions are unchanged. Zero disables the cache.
+	HGen uint64
 }
 
 // Result reports the solution of a Problem.
@@ -97,6 +107,120 @@ type Workspace struct {
 	pinned []bool
 	subH   []float64
 	subB   []float64
+	// Cholesky factor cache for the active-set subproblems (Options.HGen).
+	factors factorCache
+}
+
+// CacheStats counts the factor cache's lifetime activity on one Workspace.
+type CacheStats struct {
+	Hits      uint64 // solves that reused a cached free-block factor
+	Misses    uint64 // cache-enabled factorizations that ran fresh
+	Evictions uint64 // entries displaced by the LRU policy
+}
+
+// FactorCacheStats returns the workspace's factor cache counters.
+func (w *Workspace) FactorCacheStats() CacheStats { return w.factors.stats }
+
+// factorCacheCap bounds the per-workspace factor cache. The MPC's working
+// set alternates between a handful of bound patterns in steady state (fully
+// free, batch floor pinned, a stuck core locked), so a small cache captures
+// essentially all reuse while keeping lookup a trivial linear scan.
+const factorCacheCap = 8
+
+// factorEntry is one cached lower-triangular Cholesky factor of an m×m
+// free-variable block, valid for the H generation it was computed under.
+type factorEntry struct {
+	hgen uint64
+	free []int     // the free index set, defensively copied
+	fac  []float64 // m×m row-major; lower triangle holds the factor
+	used uint64    // LRU clock value of the last touch
+}
+
+// factorCache is a small exact-match LRU keyed by (HGen, free set). The key
+// comparison is the full index-set equality, never a hash, so a hit can only
+// return the factor of the exact matrix the caller would have factored.
+type factorCache struct {
+	entries []factorEntry
+	n       int // entry buffers are pre-sized for n-variable problems
+	clock   uint64
+	stats   CacheStats
+}
+
+// grow pre-sizes every entry's key and factor buffers for n-variable
+// problems and clears the cache if it was sized smaller. Pre-sizing makes
+// insert allocation-free: while the active set re-converges after a
+// disturbance it inserts a factor per candidate free set, and letting those
+// inserts grow buffers on demand would put heap churn on the solver's
+// steady-state path (and on the event engine's span-replanning ticks).
+func (c *factorCache) grow(n int) {
+	if n <= c.n {
+		return
+	}
+	c.n = n
+	c.entries = make([]factorEntry, 0, factorCacheCap)
+	for i := 0; i < factorCacheCap; i++ {
+		c.entries = append(c.entries, factorEntry{
+			free: make([]int, 0, n),
+			fac:  make([]float64, 0, n*n),
+		})
+	}
+	c.entries = c.entries[:0]
+}
+
+// lookup returns the cached factor for (hgen, free), or nil.
+func (c *factorCache) lookup(hgen uint64, free []int) []float64 {
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.hgen != hgen || len(e.free) != len(free) {
+			continue
+		}
+		match := true
+		for j, f := range free {
+			if e.free[j] != f {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		c.clock++
+		e.used = c.clock
+		c.stats.Hits++
+		return e.fac
+	}
+	c.stats.Misses++
+	return nil
+}
+
+// insert stores a copy of the m×m factor under (hgen, free), evicting the
+// least-recently-used entry when the cache is full. Evicted entries donate
+// their buffers, so a steady-state mix of repeating keys inserts nothing and
+// allocates nothing.
+func (c *factorCache) insert(hgen uint64, free []int, fac []float64) {
+	var e *factorEntry
+	if len(c.entries) < cap(c.entries) {
+		// grow pre-sized the backing array: re-extend over an entry whose
+		// buffers are already allocated at full capacity.
+		c.entries = c.entries[:len(c.entries)+1]
+		e = &c.entries[len(c.entries)-1]
+	} else if len(c.entries) < factorCacheCap {
+		c.entries = append(c.entries, factorEntry{})
+		e = &c.entries[len(c.entries)-1]
+	} else {
+		e = &c.entries[0]
+		for i := 1; i < len(c.entries); i++ {
+			if c.entries[i].used < e.used {
+				e = &c.entries[i]
+			}
+		}
+		c.stats.Evictions++
+	}
+	e.hgen = hgen
+	e.free = append(e.free[:0], free...)
+	e.fac = append(e.fac[:0], fac...)
+	c.clock++
+	e.used = c.clock
 }
 
 // NewWorkspace returns a workspace for n-variable problems.
@@ -120,6 +244,7 @@ func (w *Workspace) ensure(n int) {
 	w.pinned = make([]bool, n)
 	w.subH = make([]float64, n*n)
 	w.subB = make([]float64, n)
+	w.factors.grow(n)
 }
 
 const (
@@ -338,7 +463,7 @@ func solveFast(p Problem, opt Options, maxSweeps int, tol float64) (Result, erro
 		}
 	}
 
-	res, asIters, ok := solveActiveSet(p, ws, x, tol)
+	res, asIters, ok := solveActiveSet(p, ws, x, tol, opt.HGen)
 	if ok {
 		return res, nil
 	}
@@ -392,7 +517,12 @@ func activeSetIterCap(n int) int { return 3*n + 16 }
 // Returns ok=false — with the number of iterations spent — when the
 // subproblem factorization fails or the iteration cap is hit; x then holds
 // the best iterate for the caller's fallback.
-func solveActiveSet(p Problem, ws *Workspace, x mathx.Vector, tol float64) (Result, int, bool) {
+//
+// When hgen is non-zero (Options.HGen), each free-block factor is looked up
+// in — and on a miss inserted into — the workspace's factor cache, so a
+// repeated working set under an unchanged H pays only the O(m²) gather of
+// the right-hand side and back-substitution.
+func solveActiveSet(p Problem, ws *Workspace, x mathx.Vector, tol float64, hgen uint64) (Result, int, bool) {
 	n := len(x)
 	pin := ws.pinned
 	for i := 0; i < n; i++ {
@@ -413,18 +543,31 @@ func solveActiveSet(p Problem, ws *Workspace, x mathx.Vector, tol float64) (Resu
 		m := len(free)
 		blocked := false
 		if m > 0 {
-			subH := ws.subH[:m*m]
 			subB := ws.subB[:m]
 			for a, i := range free {
-				row := p.H.Row(i)
-				for b, j := range free {
-					subH[a*m+b] = row[j]
-				}
 				subB[a] = -grad[i]
 			}
-			if !cholSolveInPlace(subH, subB, m) {
-				return Result{}, iter, false // not SPD on the free block: fall back
+			var fac []float64
+			if hgen != 0 {
+				fac = ws.factors.lookup(hgen, free)
 			}
+			if fac == nil {
+				subH := ws.subH[:m*m]
+				for a, i := range free {
+					row := p.H.Row(i)
+					for b, j := range free {
+						subH[a*m+b] = row[j]
+					}
+				}
+				if !cholFactorInPlace(subH, m) {
+					return Result{}, iter, false // not SPD on the free block: fall back
+				}
+				if hgen != 0 {
+					ws.factors.insert(hgen, free, subH)
+				}
+				fac = subH
+			}
+			cholBacksubInPlace(fac, subB, m)
 			// Truncate the Newton step at the first bound crossing.
 			alpha, blk, blkAt := 1.0, -1, 0.0
 			for a, i := range free {
@@ -494,6 +637,19 @@ func solveActiveSet(p Problem, ws *Workspace, x mathx.Vector, tol float64) (Resu
 // (lower-triangular Cholesky) and overwrites b with the solution of the
 // original system a·x = b. Returns false if a is not numerically SPD.
 func cholSolveInPlace(a, b []float64, m int) bool {
+	if !cholFactorInPlace(a, m) {
+		return false
+	}
+	cholBacksubInPlace(a, b, m)
+	return true
+}
+
+// cholFactorInPlace overwrites the lower triangle of the m×m row-major SPD
+// matrix a with its Cholesky factor L (a = L·Lᵀ). Returns false if a is not
+// numerically SPD. The factorization is deterministic: bit-identical input
+// yields a bit-identical factor, which is what makes caching factors across
+// solves exact rather than approximate.
+func cholFactorInPlace(a []float64, m int) bool {
 	for j := 0; j < m; j++ {
 		d := a[j*m+j]
 		for k := 0; k < j; k++ {
@@ -512,6 +668,13 @@ func cholSolveInPlace(a, b []float64, m int) bool {
 			a[i*m+j] = s / d
 		}
 	}
+	return true
+}
+
+// cholBacksubInPlace overwrites b with the solution of (L·Lᵀ)·x = b given
+// the factor L in the lower triangle of a (as left by cholFactorInPlace).
+// It only reads a.
+func cholBacksubInPlace(a, b []float64, m int) {
 	for i := 0; i < m; i++ { // forward: L·y = b
 		s := b[i]
 		for k := 0; k < i; k++ {
@@ -526,7 +689,6 @@ func cholSolveInPlace(a, b []float64, m int) bool {
 		}
 		b[i] = s / a[i*m+i]
 	}
-	return true
 }
 
 // sweepOnce performs one cyclic projected coordinate-descent sweep over x,

@@ -102,8 +102,12 @@ type Rack struct {
 	batch   []CoreRef
 	inter   []CoreRef
 	jobs    map[CoreRef]*workload.BatchJob
-	env     server.Environment
-	rng     *rand.Rand
+	// jobSeq mirrors jobs in batch-core order (nil for unbound cores) so
+	// the per-tick AdvanceBatch/RWeightsInto sweeps walk a contiguous
+	// slice instead of hashing a CoreRef per core.
+	jobSeq []*workload.BatchJob
+	env    server.Environment
+	rng    *rand.Rand
 	// normDraws counts NormFloat64 calls on rng since construction. A
 	// checkpoint records the count and a restore replays it against a
 	// fresh seeded source, putting the noise stream back in the exact
@@ -141,6 +145,7 @@ func New(cfg Config) (*Rack, error) {
 		}
 		r.servers = append(r.servers, s)
 	}
+	r.jobSeq = make([]*workload.BatchJob, len(r.batch))
 	r.faults = make([]FaultState, cfg.NumServers)
 	return r, nil
 }
@@ -195,6 +200,12 @@ func (r *Rack) BindJob(ref CoreRef, j *workload.BatchJob) error {
 		return fmt.Errorf("rack: core %v is not a batch core", ref)
 	}
 	r.jobs[ref] = j
+	for i, b := range r.batch {
+		if b == ref {
+			r.jobSeq[i] = j
+			break
+		}
+	}
 	return nil
 }
 
@@ -306,17 +317,77 @@ func (r *Rack) BatchFreqs() []float64 {
 // workload specs (idle if unbound or between work).
 func (r *Rack) AdvanceBatch(dt, now float64) {
 	fmax := r.cfg.ServerParams.PStates.Max()
-	for _, ref := range r.batch {
-		c := r.servers[ref.Server].CPU().Core(ref.Core)
-		j := r.jobs[ref]
+	for i, ref := range r.batch {
+		j := r.jobSeq[i]
 		if j == nil || r.faults[ref.Server].Offline {
 			// No job, or a crashed server: no work executes this tick.
 			r.servers[ref.Server].CPU().SetUtil(ref.Core, 0)
 			continue
 		}
-		j.Advance(c.Freq, fmax, dt, now)
+		f := r.servers[ref.Server].CPU().Core(ref.Core).Freq
+		j.Advance(f, fmax, dt, now)
 		r.servers[ref.Server].CPU().SetUtil(ref.Core, j.CurrentUtil())
 	}
+}
+
+// AdvanceBatchTicks executes n consecutive AdvanceBatch ticks of size dt
+// starting at simulation time now0, job-major: each job runs its n ticks
+// back to back before the next job. Because jobs never interact and the
+// core frequencies are untouched, the end state is bit-identical to n
+// interleaved AdvanceBatch calls — this is the event engine's quiescent-
+// span replay kernel, reduced to the job progress arithmetic alone.
+func (r *Rack) AdvanceBatchTicks(dt, now0 float64, n int) {
+	fmax := r.cfg.ServerParams.PStates.Max()
+	for i, ref := range r.batch {
+		j := r.jobSeq[i]
+		if j == nil || r.faults[ref.Server].Offline {
+			r.servers[ref.Server].CPU().SetUtil(ref.Core, 0)
+			continue
+		}
+		f := r.servers[ref.Server].CPU().Core(ref.Core).Freq
+		j.AdvanceTicks(f, fmax, dt, now0, n)
+		r.servers[ref.Server].CPU().SetUtil(ref.Core, j.CurrentUtil())
+	}
+}
+
+// BatchStableTicks returns a conservative number of upcoming ticks of size
+// dt over which no batch core's reported utilization can change at the
+// current frequencies: the minimum of the bound jobs' phase-stability
+// horizons. Single-phase jobs (constant utilization across re-execution
+// wraps) impose no bound. The result is capped at maxTicks.
+func (r *Rack) BatchStableTicks(dt float64, maxTicks int) int {
+	fmax := r.cfg.ServerParams.PStates.Max()
+	min := maxTicks
+	for i, ref := range r.batch {
+		j := r.jobSeq[i]
+		if j == nil || r.faults[ref.Server].Offline {
+			continue
+		}
+		f := r.servers[ref.Server].CPU().Core(ref.Core).Freq
+		if n := j.StableTicks(f, fmax, dt); n < min {
+			min = n
+		}
+	}
+	if min < 0 {
+		min = 0
+	}
+	return min
+}
+
+// AllBatchJobsCompleted reports whether every bound batch job has finished
+// at least once. Completed jobs have time-independent control weights
+// (RWeight is the constant re-execution urgency), which is one of the event
+// engine's eligibility conditions for closing a quiescent span analytically.
+func (r *Rack) AllBatchJobsCompleted() bool {
+	for _, j := range r.jobSeq {
+		if j == nil {
+			continue
+		}
+		if !j.Completed() {
+			return false
+		}
+	}
+	return true
 }
 
 // --- Power monitoring ------------------------------------------------------
@@ -350,12 +421,19 @@ func (r *Rack) TruePowerOfClass(cl cpu.Class) float64 {
 // multiplicative Gaussian error (paper: p_total "can be physically measured
 // by a power monitor" — real monitors are a fraction of a percent off).
 func (r *Rack) MeasuredPower() float64 {
-	p := r.TruePower()
+	return r.Measure(r.TruePower())
+}
+
+// Measure applies the power monitor's multiplicative error to an
+// already-computed true rack power. Callers that need both the true and the
+// measured value in one tick use this to evaluate the measurement model
+// once instead of twice; Measure(TruePower()) ≡ MeasuredPower().
+func (r *Rack) Measure(trueW float64) float64 {
 	if r.cfg.MonitorNoiseStd > 0 {
-		p *= 1 + r.rng.NormFloat64()*r.cfg.MonitorNoiseStd
+		trueW *= 1 + r.rng.NormFloat64()*r.cfg.MonitorNoiseStd
 		r.normDraws++
 	}
-	return p
+	return trueW
 }
 
 // --- Design-model estimators (paper Eq. 5–6) --------------------------------
@@ -410,8 +488,8 @@ func (r *Rack) RWeightsInto(dst []float64, now float64) []float64 {
 	if len(dst) != len(r.batch) {
 		panic(fmt.Sprintf("rack: RWeightsInto dst length %d for %d batch cores", len(dst), len(r.batch)))
 	}
-	for i, ref := range r.batch {
-		if j := r.jobs[ref]; j != nil {
+	for i := range r.batch {
+		if j := r.jobSeq[i]; j != nil {
 			dst[i] = j.RWeight(now)
 		} else {
 			dst[i] = 1

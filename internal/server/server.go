@@ -133,12 +133,21 @@ func (s *Server) fanW(dynW float64, env Environment) float64 {
 	return s.p.FanW * math.Pow(loadFrac, 1.5) * tempFactor
 }
 
-// Power returns the measured server power (measurement model + fan).
+// Power returns the measured server power (measurement model + fan). The
+// summation runs fused over the CPU's struct-of-arrays frequency and
+// utilization slices with hoisted constants; every per-core operation is
+// performed in the same order as the scalar model, so the result is
+// bit-identical to summing coreDynamicW per core.
 func (s *Server) Power(env Environment) float64 {
+	freqs, utils := s.cpu.Freqs(), s.cpu.Utils()
+	pcm := s.p.perCoreMaxW()
+	fmax := s.p.PStates.Max()
+	a := s.p.Alpha
+	b := 1 - s.p.Alpha
 	var dyn float64
-	for i := 0; i < s.cpu.NumCores(); i++ {
-		c := s.cpu.Core(i)
-		dyn += s.p.coreDynamicW(c.Freq, c.Util)
+	for i, f := range freqs {
+		fn := f / fmax
+		dyn += pcm * utils[i] * (a*fn + b*fn*fn*fn)
 	}
 	return s.p.IdleW + dyn + s.fanW(dyn, env)
 }

@@ -31,6 +31,7 @@ func (e Event) String() string {
 type EventLog struct {
 	now    float64
 	base   int // sequence offset for resumed runs
+	drop   bool
 	events []Event
 }
 
@@ -49,8 +50,22 @@ func (l *EventLog) SetBase(n int) { l.base = n }
 // so far) — what a checkpoint records so a resumed log continues numbering.
 func (l *EventLog) Len() int { return l.base + len(l.events) }
 
+// Discard switches the log to drop mode: subsequent Logf calls are
+// no-ops and Len stops advancing. Used by benchmarks that measure the
+// engine's allocation cost, where formatting log entries would be noise.
+func (l *EventLog) Discard() { l.drop = true }
+
+// Enabled reports whether Logf records anything. Hot call sites check it
+// before building a Logf call: the variadic arguments are boxed by the
+// caller, so skipping the call is the only way to keep a dropped log
+// allocation-free.
+func (l *EventLog) Enabled() bool { return !l.drop }
+
 // Logf appends an event at the current simulation time.
 func (l *EventLog) Logf(kind, format string, args ...interface{}) {
+	if l.drop {
+		return
+	}
 	l.events = append(l.events, Event{
 		T:    l.now,
 		Kind: kind,

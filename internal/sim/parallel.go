@@ -14,6 +14,9 @@ type Job struct {
 	// between jobs — they carry per-run state.
 	Scenario Scenario
 	Policy   Policy
+	// Opts carries per-job run options (engine selection, series stride,
+	// checkpointing, sinks). The zero value is the default tick engine.
+	Opts RunOptions
 }
 
 // RunMany executes the jobs concurrently (bounded by GOMAXPROCS) and
@@ -50,7 +53,7 @@ func RunMany(jobs []Job) (map[string]*Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res, err := Run(j.Scenario, j.Policy)
+			res, err := RunWith(j.Scenario, j.Policy, j.Opts)
 			results <- outcome{key: j.Key, res: res, err: err}
 		}(j)
 	}
@@ -87,7 +90,7 @@ func RunManyOrdered(jobs []Job) ([]*Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			out[i], errs[i] = Run(j.Scenario, j.Policy)
+			out[i], errs[i] = RunWith(j.Scenario, j.Policy, j.Opts)
 		}(i, j)
 	}
 	wg.Wait()

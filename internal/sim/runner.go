@@ -29,15 +29,20 @@ type Runner struct {
 	reporter TargetReporter
 	em       engineMetrics
 
-	steps int
-	step  int
-	dt    float64
+	steps  int
+	step   int
+	dt     float64
+	stride int // record every stride-th tick into the series (≥1)
 
 	outage          bool
 	controlledTicks int
 	overTicks       int
 	trackErrSum     float64
+	lastCBW         float64
 	snap            Snapshot
+
+	// ev is the discrete-event core's state; nil until RunEvent builds it.
+	ev *eventCore
 
 	finished bool
 }
@@ -45,6 +50,11 @@ type Runner struct {
 // NewRunner validates the scenario, builds the environment and starts (or
 // resumes) the policy, leaving the run positioned before its first tick.
 func NewRunner(scn Scenario, p Policy, opts RunOptions) (*Runner, error) {
+	switch opts.Engine {
+	case "", "tick", "event":
+	default:
+		return nil, fmt.Errorf("sim: unknown engine %q (want \"tick\" or \"event\")", opts.Engine)
+	}
 	if err := scn.Validate(); err != nil {
 		return nil, err
 	}
@@ -55,10 +65,17 @@ func NewRunner(scn Scenario, p Policy, opts RunOptions) (*Runner, error) {
 	env.Metrics = opts.Metrics
 	env.Decisions = opts.Decisions
 	env.Obs = opts.Obs
+	if opts.DropEvents {
+		env.Events.Discard()
+	}
 
 	res := &Result{Policy: p.Name(), Scenario: scn, MaxCompletionTimeS: math.NaN()}
 	res.InteractiveDemand = env.Trace.Summary()
 	res.Series.DtS = scn.DtS
+	res.Engine.Name = opts.Engine
+	if res.Engine.Name == "" {
+		res.Engine.Name = "tick"
+	}
 
 	// Fault injection: nil when the plan is empty, so fault-free runs
 	// follow the exact legacy code path (bit-identical results). Built
@@ -75,16 +92,21 @@ func NewRunner(scn Scenario, p Policy, opts RunOptions) (*Runner, error) {
 		return nil, err
 	}
 
+	stride := opts.SeriesStride
+	if stride < 1 {
+		stride = 1
+	}
 	r := &Runner{
-		scn:   scn,
-		p:     p,
-		opts:  opts,
-		env:   env,
-		res:   res,
-		inj:   inj,
-		ckr:   ckr,
-		steps: int(math.Round(scn.DurationS / scn.DtS)),
-		dt:    scn.DtS,
+		scn:    scn,
+		p:      p,
+		opts:   opts,
+		env:    env,
+		res:    res,
+		inj:    inj,
+		ckr:    ckr,
+		steps:  int(math.Round(scn.DurationS / scn.DtS)),
+		dt:     scn.DtS,
+		stride: stride,
 	}
 	if opts.Resume != nil {
 		rs, err := applyResume(env, scn, p, inj, opts.Resume, res)
@@ -112,7 +134,7 @@ func NewRunner(scn Scenario, p Policy, opts RunOptions) (*Runner, error) {
 			UPSSoC:         env.UPS.SoC(),
 		}
 	}
-	res.Series.grow(r.steps - r.step)
+	res.Series.grow((r.steps-r.step+stride-1)/stride + 1)
 
 	r.reporter, _ = p.(TargetReporter)
 	// Engine telemetry: instruments resolve to nil-safe no-ops when
@@ -152,13 +174,7 @@ func (r *Runner) Dark() bool { return r.outage }
 // LastCBPowerW returns the breaker-conducted power of the most recent tick
 // (0 before the first). Lock-step cluster runs sum this across racks into
 // the feeder draw without touching the plant's noise streams.
-func (r *Runner) LastCBPowerW() float64 {
-	s := r.res.Series.CBW
-	if len(s) == 0 {
-		return 0
-	}
-	return s[len(s)-1]
-}
+func (r *Runner) LastCBPowerW() float64 { return r.lastCBW }
 
 // status refreshes the live /status snapshot when the run is instrumented.
 func (r *Runner) status(now float64, pTotal, cbW, upsW float64, done bool) {
@@ -170,7 +186,7 @@ func (r *Runner) status(now float64, pTotal, cbW, upsW float64, done bool) {
 		NowS:      now,
 		DurationS: r.scn.DurationS,
 		Progress:  math.Min(1, now/r.scn.DurationS),
-		Ticks:     int64(len(r.res.Series.Time)),
+		Ticks:     int64(r.res.nTicks),
 		TotalW:    pTotal,
 		CBW:       cbW,
 		UPSW:      upsW,
@@ -243,7 +259,8 @@ func (r *Runner) Step() error {
 	}
 	if r.outage {
 		res.OutageS += dt
-		recordTick(res, r.reporter, now, 0, 0, 0, env, true)
+		r.lastCBW = 0
+		recordTick(res, r.reporter, now, 0, 0, 0, env, true, r.step%r.stride == 0)
 		r.snap = nextSnapshot(now+dt, dt, 0, 0, 0, env, true)
 		if inj != nil {
 			r.snap.UPSSoC, r.snap.UPSDepleted = inj.FilterSoC(r.snap.UPSSoC, r.snap.UPSDepleted)
@@ -282,7 +299,7 @@ func (r *Runner) Step() error {
 	}
 
 	pTotal := env.Rack.TruePower()
-	measured := env.Rack.MeasuredPower()
+	measured := env.Rack.Measure(pTotal)
 	if inj != nil {
 		measured = inj.FilterMeasurement(measured)
 	}
@@ -322,7 +339,8 @@ func (r *Runner) Step() error {
 		r.em.outageS.Add(dt)
 	}
 
-	recordTick(res, r.reporter, now, pTotal, cbW, upsW, env, r.outage)
+	r.lastCBW = cbW
+	recordTick(res, r.reporter, now, pTotal, cbW, upsW, env, r.outage, r.step%r.stride == 0)
 	if r.em.enabled {
 		r.em.observeTick(now, pTotal, cbW, upsW, env)
 		r.em.tickSeconds.Observe(time.Since(tickStart).Seconds())

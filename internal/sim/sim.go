@@ -121,6 +121,13 @@ type Scenario struct {
 	Trace *workload.InteractiveTrace
 	// Faults is the run's fault-injection schedule (empty = no faults).
 	Faults faults.Plan
+	// BatchSpecs, when non-empty, replaces the default SpecCPU2006 batch
+	// mix; jobs are assigned round-robin exactly as with the default set.
+	// Steady-state benchmark scenarios use a single-phase mix here so
+	// that re-executing jobs hold constant utilization (multi-phase specs
+	// re-walk their phases forever, which genuinely perturbs the plant
+	// and caps the event engine's quiescent spans).
+	BatchSpecs []workload.BatchSpec
 }
 
 // DefaultScenario returns the paper's evaluation setup: a 15-minute sprint
@@ -191,6 +198,11 @@ func (s Scenario) Validate() error {
 	}
 	if err := s.Faults.ValidateForRack(s.Rack.NumServers); err != nil {
 		return err
+	}
+	for _, sp := range s.BatchSpecs {
+		if err := sp.Validate(); err != nil {
+			return err
+		}
 	}
 	return s.Interactive.Validate()
 }
@@ -264,6 +276,30 @@ type Result struct {
 	// (nil when the run had no registry) — the experiments harness
 	// aggregates these into its reports.
 	Telemetry telemetry.Snapshot
+	// Engine reports how the run was executed (tick loop versus
+	// discrete-event core) and how much work the event core elided.
+	Engine EngineStats
+
+	// Summary accumulators, maintained per tick by recordTick in the same
+	// per-tick operation order the series-walking finalize loop used, so
+	// summary statistics stay bit-identical at any series stride.
+	nTicks       int
+	sumFreqInter float64
+	sumFreqBatch float64
+}
+
+// EngineStats describes the execution engine's work for one run.
+type EngineStats struct {
+	// Name is "tick" or "event".
+	Name string
+	// Spans is the number of quiescent spans the event engine closed
+	// analytically; TicksSkipped is the number of plant ticks those spans
+	// covered (0 under the tick engine).
+	Spans        int
+	TicksSkipped int
+	// Events is the number of discrete events (barriers) the event engine
+	// dequeued while planning spans.
+	Events int
 }
 
 // JobResult summarizes one batch job's outcome.
@@ -309,6 +345,23 @@ type RunOptions struct {
 	// step instead of starting at t=0. The Result then covers only the
 	// resumed window.
 	Resume *checkpoint.Snapshot
+	// Engine selects the execution core: "" or "tick" runs the classic
+	// fixed-step loop; "event" runs the discrete-event core, which
+	// advances time by next-event deltas and closes provably quiescent
+	// spans analytically. Results are bit-identical between the two.
+	Engine string
+	// SeriesStride records every SeriesStride-th tick into Result.Series
+	// (0 or 1 records every tick). Summary statistics are unaffected:
+	// they accumulate per tick regardless of the stride. Long diurnal
+	// runs use a stride to keep Series memory bounded.
+	SeriesStride int
+	// DropEvents discards event-log appends: Result.Events comes back
+	// empty. Control behavior is unaffected — nothing reads the log
+	// mid-run — so results stay bit-identical to a logging run. Benchmarks
+	// use it to measure the engine's steady-state allocation cost without
+	// counting diagnostic log volume (each entry must box its format
+	// arguments and build a fresh string).
+	DropEvents bool
 }
 
 // Run simulates the scenario under the policy with telemetry disabled.
@@ -378,10 +431,19 @@ func RunWith(scn Scenario, p Policy, opts RunOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for !r.Done() {
-		if err := r.Step(); err != nil {
+	switch opts.Engine {
+	case "", "tick":
+		for !r.Done() {
+			if err := r.Step(); err != nil {
+				return nil, err
+			}
+		}
+	case "event":
+		if err := r.RunEvent(); err != nil {
 			return nil, err
 		}
+	default:
+		return nil, fmt.Errorf("sim: unknown engine %q (want \"tick\" or \"event\")", opts.Engine)
 	}
 	return r.Finish(), nil
 }
@@ -409,7 +471,10 @@ func BuildEnv(scn Scenario) (*Env, error) {
 			return nil, err
 		}
 	}
-	specs := workload.SpecCPU2006()
+	specs := scn.BatchSpecs
+	if len(specs) == 0 {
+		specs = workload.SpecCPU2006()
+	}
 	for i, ref := range r.BatchCores() {
 		spec := specs[i%len(specs)]
 		j, err := workload.NewBatchJob(spec, 0, scn.BatchDeadlineS)
@@ -444,8 +509,30 @@ func nextSnapshot(now, dt, measured, cbW, upsW float64, env *Env, outage bool) S
 	}
 }
 
-func recordTick(res *Result, reporter TargetReporter, now, pTotal, cbW, upsW float64, env *Env, outage bool) {
+// recordTick accumulates one tick into the result's summary statistics and,
+// when keep is set, appends the tick to the series. The accumulator updates
+// run in the same per-tick operation order the old series-walking finalize
+// loop used, so summaries are bit-identical at any series stride.
+func recordTick(res *Result, reporter TargetReporter, now, pTotal, cbW, upsW float64, env *Env, outage, keep bool) {
+	fi, fb := 0.0, 0.0
+	if !outage {
+		fi = env.Rack.MeanInteractiveFreqNorm()
+		fb = env.Rack.MeanBatchFreqNorm()
+	}
+
 	s := &res.Series
+	res.nTicks++
+	res.sumFreqInter += fi
+	res.sumFreqBatch += fb
+	res.EnergyTotalWh += pTotal * s.DtS / 3600
+	res.EnergyCBWh += cbW * s.DtS / 3600
+	if ov := cbW - env.Breaker.RatedPower(); ov > 0 {
+		res.EnergyCBOverWh += ov * s.DtS / 3600
+	}
+	if !keep {
+		return
+	}
+
 	s.Time = append(s.Time, now)
 	s.TotalW = append(s.TotalW, pTotal)
 	s.Demand = append(s.Demand, env.Trace.At(now))
@@ -460,33 +547,17 @@ func recordTick(res *Result, reporter TargetReporter, now, pTotal, cbW, upsW flo
 	s.PCbW = append(s.PCbW, pcb)
 	s.PBatchW = append(s.PBatchW, pbatch)
 
-	fi, fb := 0.0, 0.0
-	if !outage {
-		fi = env.Rack.MeanInteractiveFreqNorm()
-		fb = env.Rack.MeanBatchFreqNorm()
-	}
 	s.FreqInter = append(s.FreqInter, fi)
 	s.FreqBatch = append(s.FreqBatch, fb)
 }
 
 func finalize(res *Result, env *Env, controlled, over int, trackErrSum float64) {
-	s := &res.Series
-	n := float64(len(s.Time))
+	n := float64(res.nTicks)
 	if n == 0 {
 		return
 	}
-	var sumFi, sumFb float64
-	for i := range s.Time {
-		sumFi += s.FreqInter[i]
-		sumFb += s.FreqBatch[i]
-		res.EnergyTotalWh += s.TotalW[i] * s.DtS / 3600
-		res.EnergyCBWh += s.CBW[i] * s.DtS / 3600
-		if ov := s.CBW[i] - env.Breaker.RatedPower(); ov > 0 {
-			res.EnergyCBOverWh += ov * s.DtS / 3600
-		}
-	}
-	res.AvgFreqInter = sumFi / n
-	res.AvgFreqBatch = sumFb / n
+	res.AvgFreqInter = res.sumFreqInter / n
+	res.AvgFreqBatch = res.sumFreqBatch / n
 
 	res.UPSDoD = env.UPS.DoD()
 	res.UPSDischargedWh = env.UPS.DischargedWh()

@@ -129,6 +129,20 @@ func SpecCPU2006() []BatchSpec {
 	}
 }
 
+// SteadyStateSpecs returns the single-phase subset of SpecCPU2006. A
+// single-phase job's utilization is constant across re-execution wraps, so a
+// rack running only these reaches an exact steady state between demand
+// edges — the job mix for event-engine benchmarks and bit-identity tests.
+func SteadyStateSpecs() []BatchSpec {
+	var out []BatchSpec
+	for _, s := range SpecCPU2006() {
+		if len(s.Phases) <= 1 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // Fig1Workloads returns the six workloads used for the paper's Fig. 1
 // per-watt-speedup analysis (the six distinct sprinting workloads of [4];
 // here, the six most DVFS-diverse of the SPEC set).
@@ -224,6 +238,92 @@ func (j *BatchJob) Advance(f, fmax, dt, now float64) {
 			j.remaining = j.totalWork // re-execute immediately
 		}
 	}
+}
+
+// AdvanceTicks executes n consecutive dt-second ticks at constant frequency
+// f starting at simulation time now0, bit-identically to calling
+// Advance(f, fmax, dt, now0+k·dt) for k = 0..n−1. Ticks that provably stay
+// inside the current phase segment take a two-flop fast path (Advance's
+// within-segment branch reduces to remaining -= rate·dt when timeLeft = dt);
+// ticks that may cross a phase boundary, complete, or wrap fall back to one
+// exact Advance call, after which the phase is re-derived. The event engine
+// uses this to replay batch progress across quiescent spans in O(phases)
+// rather than O(ticks) of full phase walks.
+func (j *BatchJob) AdvanceTicks(f, fmax, dt, now0 float64, n int) {
+	if dt < 0 {
+		panic("workload: negative dt")
+	}
+	if dt <= 1e-12 {
+		// Advance's segment loop never runs at dt ≤ 1e-12: only wall time
+		// accrues.
+		for k := 0; k < n; k++ {
+			j.execSecs += dt
+		}
+		return
+	}
+	k := 0
+	for k < n {
+		pos := j.totalWork - j.remaining
+		idx := j.Spec.phaseIndexAt(pos, j.totalWork)
+		rate := phaseRate(j.Spec.phases()[idx], f, fmax)
+		if rate <= 0 {
+			// Advance returns after accruing execSecs when the phase makes
+			// no progress, and the phase cannot change without progress.
+			for ; k < n; k++ {
+				j.execSecs += dt
+			}
+			return
+		}
+		endW := j.Spec.phaseEndWork(idx, j.totalWork)
+		step := rate * dt // == rate*timeLeft with timeLeft = dt, bit-exact
+		for k < n {
+			segWork := endW - (j.totalWork - j.remaining)
+			if segWork > j.remaining {
+				segWork = j.remaining
+			}
+			// Same comparison as Advance's segTime > timeLeft gate.
+			if segWork/rate > dt {
+				j.execSecs += dt
+				j.remaining -= step
+				k++
+				continue
+			}
+			// Boundary, completion or wrap inside this tick: exact slow
+			// path, then re-derive the phase.
+			j.Advance(f, fmax, dt, now0+float64(k)*dt)
+			k++
+			break
+		}
+	}
+}
+
+// StableTicks returns a conservative count of whole dt-second ticks of
+// execution at constant frequency f during which CurrentUtil() cannot
+// change. Single-phase specs report an effectively unbounded horizon: their
+// utilization is constant even across re-execution wraps. Multi-phase specs
+// report the ticks that certainly remain inside the current phase, which
+// the event engine uses as a quiescent-span barrier.
+func (j *BatchJob) StableTicks(f, fmax, dt float64) int {
+	const unbounded = math.MaxInt32
+	phases := j.Spec.phases()
+	if len(phases) == 1 {
+		return unbounded
+	}
+	pos := j.totalWork - j.remaining
+	idx := j.Spec.phaseIndexAt(pos, j.totalWork)
+	rate := phaseRate(phases[idx], f, fmax)
+	if rate <= 0 {
+		return unbounded // no progress at f ≤ 0: the phase cannot change
+	}
+	segWork := j.Spec.phaseEndWork(idx, j.totalWork) - pos
+	if segWork > j.remaining {
+		segWork = j.remaining
+	}
+	n := int(segWork/rate/dt) - 1
+	if n < 0 {
+		n = 0
+	}
+	return n
 }
 
 // Progress returns completed fraction of the current execution in [0, 1).

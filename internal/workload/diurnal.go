@@ -1,0 +1,34 @@
+package workload
+
+import "errors"
+
+// SteppedDiurnal builds a deterministic piecewise-constant demand trace: the
+// day is divided into equal plateaus of plateauS seconds cycling through
+// levels, repeated for the whole duration. Each plateau's demand is the
+// exact level value (bit-identical across every tick of the plateau), which
+// is the trace shape the discrete-event engine exploits: every plateau is
+// one quiescent span candidate, so a day-long run costs O(plateaus), not
+// O(seconds). Levels are clamped to the trace's [0, 1.2] demand range.
+func SteppedDiurnal(levels []float64, plateauS, durationS, dtS float64) (*InteractiveTrace, error) {
+	if len(levels) == 0 {
+		return nil, errors.New("workload: SteppedDiurnal needs at least one level")
+	}
+	if plateauS <= 0 || durationS <= 0 || dtS <= 0 {
+		return nil, errors.New("workload: SteppedDiurnal durations must be positive")
+	}
+	for _, l := range levels {
+		if l < 0 || l > 1.2 {
+			return nil, errors.New("workload: SteppedDiurnal levels must be in [0, 1.2]")
+		}
+	}
+	n := int(durationS/dtS + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	demand := make([]float64, n)
+	for i := range demand {
+		plateau := int(float64(i) * dtS / plateauS)
+		demand[i] = levels[plateau%len(levels)]
+	}
+	return &InteractiveTrace{DtS: dtS, Demand: demand}, nil
+}
