@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos soak fuzz bench bench-check gobench report experiments docs-check clean
+.PHONY: all build vet test race chaos chaos-service soak fuzz bench bench-check gobench report experiments docs-check clean
 
 all: build vet test
 
@@ -21,6 +21,13 @@ race:
 
 chaos:
 	$(GO) test -run TestChaos -v ./internal/core/ ./internal/cluster/
+
+# Service chaos: submission storms with abusive stream clients against a
+# live sprintd, then kill -9 + restart of a real sprintd process on a
+# shared state dir. Zero lost records, zero stuck runs, a live /healthz
+# throughout. Set SPRINTD_CHAOS_STATE to keep the journal for inspection.
+chaos-service:
+	$(GO) test -run TestChaosService -v ./cmd/sprintd/
 
 # Soak: randomized fault storms — rack-local storms with controller crashes
 # (core), and network storms over the control link (cluster), alternating

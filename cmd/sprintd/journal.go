@@ -1,0 +1,218 @@
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"sprintcon/internal/checkpoint"
+)
+
+// journal is sprintd's durable run record under -state-dir: one directory
+// per run holding the spec/state record and, for linked runs, one framed
+// checkpoint file per row. Every write is atomic (temp + rename), so a
+// kill -9 at any instant leaves either the previous or the next intact
+// version of each file — never a torn one. On startup the journal is
+// replayed: terminal runs come back as queryable records, interrupted ones
+// re-enter the admission queue and resume from their latest row snapshots
+// (or from step 0 when none were captured — runs are deterministic, so a
+// from-scratch re-execution reproduces the same result).
+type journal struct {
+	dir string
+}
+
+// journalRecord is the persisted lifecycle record of one run.
+type journalRecord struct {
+	ID        string         `json:"id"`
+	Mode      string         `json:"mode"`
+	State     string         `json:"state"`
+	Submitted time.Time      `json:"submitted"`
+	Started   time.Time      `json:"started"`
+	Finished  time.Time      `json:"finished"`
+	Error     string         `json:"error,omitempty"`
+	Spec      RunSpec        `json:"spec"`
+	Summary   map[string]any `json:"summary,omitempty"`
+}
+
+func newJournal(dir string) (*journal, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "runs"), 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &journal{dir: dir}, nil
+}
+
+func (j *journal) runDir(id string) string { return filepath.Join(j.dir, "runs", id) }
+
+// writeAtomic writes b to path via a temp file in the same directory.
+func writeAtomic(path string, b []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// saveRecord persists the run's lifecycle record.
+func (j *journal) saveRecord(rec journalRecord) error {
+	dir := j.runDir(rec.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	b, err := json.MarshalIndent(rec, "", " ")
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := writeAtomic(filepath.Join(dir, "record.json"), b); err != nil {
+		return fmt.Errorf("journal: %s: %w", rec.ID, err)
+	}
+	return nil
+}
+
+// rowCkptMagic frames a coherent row-snapshot file: the magic, a big-endian
+// rack count, then one length-prefixed checkpoint.Encode blob per rack.
+// The whole set lands in one file so the per-rack snapshots can never be
+// torn apart by a crash — the checkpoint encoding itself is versioned and
+// checksummed, so any partial rename-loser is rejected on load.
+const rowCkptMagic = "SPRDROW1"
+
+// saveRowCheckpoint persists one row's coherent snapshot set.
+func (j *journal) saveRowCheckpoint(id string, row int, snaps []*checkpoint.Snapshot) error {
+	var buf []byte
+	buf = append(buf, rowCkptMagic...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(snaps)))
+	for _, sp := range snaps {
+		b, err := checkpoint.Encode(sp)
+		if err != nil {
+			return fmt.Errorf("journal: row checkpoint: %w", err)
+		}
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(b)))
+		buf = append(buf, b...)
+	}
+	path := filepath.Join(j.runDir(id), fmt.Sprintf("row%d.ckpt", row))
+	if err := writeAtomic(path, buf); err != nil {
+		return fmt.Errorf("journal: %s row %d: %w", id, row, err)
+	}
+	return nil
+}
+
+// loadRowCheckpoint reads one row's snapshot set ((nil, nil) when absent).
+func (j *journal) loadRowCheckpoint(id string, row int) ([]*checkpoint.Snapshot, error) {
+	b, err := os.ReadFile(filepath.Join(j.runDir(id), fmt.Sprintf("row%d.ckpt", row)))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if len(b) < len(rowCkptMagic)+4 || string(b[:len(rowCkptMagic)]) != rowCkptMagic {
+		return nil, fmt.Errorf("journal: %s row %d: not a row checkpoint file", id, row)
+	}
+	b = b[len(rowCkptMagic):]
+	n := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	snaps := make([]*checkpoint.Snapshot, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("journal: %s row %d: truncated frame %d", id, row, i)
+		}
+		l := int(binary.BigEndian.Uint32(b))
+		b = b[4:]
+		if len(b) < l {
+			return nil, fmt.Errorf("journal: %s row %d: truncated snapshot %d", id, row, i)
+		}
+		sp, err := checkpoint.Decode(b[:l])
+		if err != nil {
+			return nil, fmt.Errorf("journal: %s row %d rack %d: %w", id, row, i, err)
+		}
+		snaps = append(snaps, sp)
+		b = b[l:]
+	}
+	return snaps, nil
+}
+
+// loadResume assembles a run's per-row resume sets, best-effort: a row
+// without a usable checkpoint file resumes from step 0 (nil entry), which
+// is always correct — the simulation is deterministic — just slower.
+func (j *journal) loadResume(id string, rows int) [][]*checkpoint.Snapshot {
+	out := make([][]*checkpoint.Snapshot, rows)
+	any := false
+	for r := 0; r < rows; r++ {
+		snaps, err := j.loadRowCheckpoint(id, r)
+		if err != nil || len(snaps) == 0 {
+			continue
+		}
+		// Coherence within the file is structural (one atomic write), but
+		// verify anyway: incoherent sets resume from scratch.
+		ok := true
+		for _, sp := range snaps {
+			if sp.Step != snaps[0].Step {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out[r] = snaps
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return out
+}
+
+// load replays the journal: every run record, ordered by numeric run id.
+func (j *journal) load() ([]journalRecord, error) {
+	entries, err := os.ReadDir(filepath.Join(j.dir, "runs"))
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var recs []journalRecord
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(j.runDir(e.Name()), "record.json"))
+		if err != nil {
+			// A run directory without a record is a crash between MkdirAll
+			// and the first record write; nothing to recover.
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("journal: %s: %w", e.Name(), err)
+		}
+		if rec.ID == "" {
+			rec.ID = e.Name()
+		}
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(a, b int) bool { return runSeq(recs[a].ID) < runSeq(recs[b].ID) })
+	return recs, nil
+}
+
+// runSeq extracts the numeric sequence from a run id ("r12" → 12).
+func runSeq(id string) int {
+	n, _ := strconv.Atoi(strings.TrimPrefix(id, "r"))
+	return n
+}

@@ -5,53 +5,98 @@
 // traces while the run executes. docs/OPERATING.md is the operator's
 // guide; the API in brief:
 //
-//	POST /api/v1/runs                  — submit a run (RunSpec JSON), returns its id
-//	GET  /api/v1/runs                  — list runs
-//	GET  /api/v1/runs/{id}             — spec, state and final summary
-//	GET  /api/v1/runs/{id}/status      — live per-row progress
-//	GET  /api/v1/runs/{id}/decisions   — stream one rack's decision trace
+//	POST   /api/v1/runs                — submit a run (RunSpec JSON), returns its id
+//	GET    /api/v1/runs                — list runs
+//	GET    /api/v1/runs/{id}           — spec, state and final summary
+//	DELETE /api/v1/runs/{id}           — cancel a queued or running run
+//	GET    /api/v1/runs/{id}/status    — live per-row progress
+//	GET    /api/v1/runs/{id}/decisions — stream one rack's decision trace
 //	                                     (?row=&rack=&follow=) as chunked JSONL
-//	GET  /api/v1/runs/{id}/spans       — one row's span trace (?row=) as JSONL
-//	GET  /api/v1/runs/{id}/metrics     — the run's Prometheus metrics
-//	GET  /status                       — service document (runs, uptime)
-//	GET  /status/cluster               — latest run's per-row health rollups
-//	GET  /metrics                      — latest run's Prometheus metrics
-//	GET  /healthz                      — liveness probe
-//	GET  /debug/pprof/…                — Go profiling endpoints
+//	GET    /api/v1/runs/{id}/spans     — one row's span trace (?row=) as JSONL
+//	GET    /api/v1/runs/{id}/metrics   — the run's Prometheus metrics
+//	GET    /status                     — service document (runs, uptime, admission)
+//	GET    /status/cluster             — latest run's per-row health rollups
+//	GET    /metrics                    — service + latest run Prometheus metrics
+//	GET    /healthz                    — liveness probe
+//	GET    /debug/pprof/…              — Go profiling endpoints
+//
+// Runs are supervised: at most -max-runs execute concurrently with a
+// bounded admission queue behind them (429 + Retry-After beyond it), a
+// panicking run fails alone while the service keeps serving, and with
+// -state-dir every run is journaled and checkpointed so a crash or restart
+// loses no run records — interrupted runs resume from their latest row
+// snapshots. SIGTERM drains gracefully: admission stops, in-flight runs
+// get -drain-grace to finish, stragglers are checkpointed and stopped.
 //
 // Usage:
 //
-//	sprintd -addr 127.0.0.1:8080
+//	sprintd -addr 127.0.0.1:8080 -state-dir /var/lib/sprintd
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
-
-	"sprintcon/internal/telemetry"
+	"time"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sprintd: ")
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; :0 picks a free port)")
+	stateDir := flag.String("state-dir", "", "durable run-journal directory (empty = in-memory only)")
+	maxRuns := flag.Int("max-runs", 4, "maximum concurrently executing runs")
+	queueDepth := flag.Int("queue-depth", 16, "admission queue length behind the running set (429 beyond it)")
+	retain := flag.Int("retain", 32, "completed runs whose decision-stream buffers are retained in memory")
+	ckptEvery := flag.Float64("checkpoint-every", 300, "simulated seconds between row checkpoints (with -state-dir)")
+	drainGrace := flag.Duration("drain-grace", 10*time.Second, "how long SIGTERM lets in-flight runs finish before stopping them")
 	flag.Parse()
 
-	srv := newServer()
-	bound, stop, err := telemetry.Serve(*addr, srv.handler())
+	cfg := defaultServerConfig()
+	cfg.StateDir = *stateDir
+	cfg.MaxRuns = *maxRuns
+	cfg.QueueDepth = *queueDepth
+	cfg.Retain = *retain
+	cfg.CheckpointEveryS = *ckptEvery
+	s, err := newServer(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on http://%s (see docs/OPERATING.md)", bound)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Handler:           s.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		// WriteTimeout stays zero: decision streams are long-lived; the
+		// stream handler sets a per-write deadline instead.
+	}
+	log.Printf("listening on http://%s (see docs/OPERATING.md)", ln.Addr())
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
-	log.Print("shutting down")
-	if err := stop(); err != nil {
-		log.Fatal(err)
+	log.Printf("draining (grace %s)", *drainGrace)
+	s.drain(*drainGrace)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
 	}
+	log.Print("stopped")
 }

@@ -13,6 +13,19 @@ import (
 	"sprintcon/internal/telemetry"
 )
 
+// newTestServer starts an in-memory service with the default
+// configuration (no journal).
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := newServer(defaultServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
 func postRun(t *testing.T, ts *httptest.Server, spec string) string {
 	t.Helper()
 	resp, err := http.Post(ts.URL+"/api/v1/runs", "application/json", strings.NewReader(spec))
@@ -74,8 +87,7 @@ func waitDone(t *testing.T, ts *httptest.Server, id string) map[string]any {
 // the run executes, and the status endpoints serve live and final
 // documents.
 func TestAPISmoke(t *testing.T) {
-	ts := httptest.NewServer(newServer().handler())
-	defer ts.Close()
+	ts := newTestServer(t)
 
 	id := postRun(t, ts, `{"rows": 2, "racks_per_row": 2, "duration_s": 240}`)
 
@@ -166,8 +178,7 @@ func TestAcceptance3Level(t *testing.T) {
 	if testing.Short() {
 		t.Skip("64-rack service run skipped in -short mode")
 	}
-	ts := httptest.NewServer(newServer().handler())
-	defer ts.Close()
+	ts := newTestServer(t)
 
 	id := postRun(t, ts, `{"duration_s": 450}`) // defaults: linked, 4 rows × 16 racks
 	doc := waitDone(t, ts, id)
@@ -204,8 +215,7 @@ func TestAcceptance3Level(t *testing.T) {
 // TestSubmitValidation: malformed and inconsistent specs are rejected with
 // 400 before any run starts.
 func TestSubmitValidation(t *testing.T) {
-	ts := httptest.NewServer(newServer().handler())
-	defer ts.Close()
+	ts := newTestServer(t)
 	cases := []string{
 		`{"mode": "nope"}`,
 		`{"rows": 0, "racks_per_row": 0, "building_budget_w": 1}`, // cannot fund minimum packing
@@ -231,8 +241,7 @@ func TestSubmitValidation(t *testing.T) {
 // TestSweepMode: a sweep run completes, reports per-level records, and
 // correctly declines decision/span queries.
 func TestSweepMode(t *testing.T) {
-	ts := httptest.NewServer(newServer().handler())
-	defer ts.Close()
+	ts := newTestServer(t)
 	id := postRun(t, ts, `{"mode": "sweep", "rows": 2, "racks_per_row": 4, "duration_s": 240}`)
 	doc := waitDone(t, ts, id)
 	result := doc["result"].(map[string]any)

@@ -7,14 +7,26 @@ import "sync"
 // simulation goroutines, and HTTP handlers stream the lines out as they
 // arrive. Each Write call is one complete line (the JSON encoder emits one
 // record per Write), so lines never interleave.
+//
+// The buffer is bounded: beyond max lines the oldest are dropped (the
+// writer — the simulation — must never block or grow without bound because
+// a stream has no reader, or a slow one). Readers that fall behind the
+// drop horizon skip forward and can ask Dropped for how many lines they
+// can no longer replay.
 type streamLog struct {
-	mu     sync.Mutex
-	lines  [][]byte
-	closed bool
-	wake   chan struct{} // closed and replaced on every append/close
+	mu      sync.Mutex
+	lines   [][]byte
+	first   int // global index of lines[0]
+	dropped int64
+	max     int // 0 = unbounded
+	closed  bool
+	wake    chan struct{} // closed and replaced on every append/close
 }
 
-func newStreamLog() *streamLog { return &streamLog{wake: make(chan struct{})} }
+// newStreamLog returns a log retaining at most max lines (0 = unbounded).
+func newStreamLog(max int) *streamLog {
+	return &streamLog{max: max, wake: make(chan struct{})}
+}
 
 // Write implements io.Writer for telemetry.NewDecisionSink.
 func (s *streamLog) Write(p []byte) (int, error) {
@@ -22,13 +34,21 @@ func (s *streamLog) Write(p []byte) (int, error) {
 	copy(b, p)
 	s.mu.Lock()
 	s.lines = append(s.lines, b)
+	// Drop in chunks (hysteresis max/4) so a saturated stream pays the
+	// copy once per chunk, not per line.
+	if s.max > 0 && len(s.lines) > s.max+s.max/4 {
+		k := len(s.lines) - s.max
+		s.first += k
+		s.dropped += int64(k)
+		s.lines = append([][]byte(nil), s.lines[k:]...)
+	}
 	close(s.wake)
 	s.wake = make(chan struct{})
 	s.mu.Unlock()
 	return len(p), nil
 }
 
-// Close marks the log complete; followers drain and return.
+// Close marks the log complete; followers drain and return. Idempotent.
 func (s *streamLog) Close() {
 	s.mu.Lock()
 	if !s.closed {
@@ -39,11 +59,22 @@ func (s *streamLog) Close() {
 	s.mu.Unlock()
 }
 
-// next returns the lines from index idx on, the new index, whether the log
-// is complete, and a channel that closes when more data (or the close)
-// arrives after this snapshot.
+// Dropped returns how many lines the retention bound has discarded.
+func (s *streamLog) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// next returns the lines from global index idx on (skipping forward past
+// any dropped prefix), the new index, whether the log is complete, and a
+// channel that closes when more data (or the close) arrives after this
+// snapshot.
 func (s *streamLog) next(idx int) ([][]byte, int, bool, <-chan struct{}) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.lines[idx:], len(s.lines), s.closed, s.wake
+	if idx < s.first {
+		idx = s.first
+	}
+	return s.lines[idx-s.first:], s.first + len(s.lines), s.closed, s.wake
 }

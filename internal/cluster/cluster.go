@@ -28,6 +28,7 @@ import (
 	"math"
 
 	"sprintcon/internal/alloc"
+	"sprintcon/internal/checkpoint"
 	"sprintcon/internal/core"
 	"sprintcon/internal/link"
 	"sprintcon/internal/obs"
@@ -56,8 +57,41 @@ type Config struct {
 	// Results are bit-identical either way; the knob exists so the
 	// benchmark harness can measure the parallel speedup.
 	Serial bool
+	// Stop, when non-nil, cancels the run once the channel closes:
+	// RunLinked polls it between lock-step ticks (so cancellation lands
+	// within one tick), takes a final coherent checkpoint when Checkpoint
+	// is configured, and returns sim.ErrCanceled.
+	Stop <-chan struct{}
+	// Checkpoint, when non-nil, captures coherent row snapshots during
+	// RunLinked: every rack's full control+plant state at the same tick
+	// boundary, every EveryS simulated seconds (see LinkedCheckpoint).
+	Checkpoint *LinkedCheckpoint
+	// Resume, when non-nil, resumes RunLinked from a coherent snapshot
+	// set — one checkpoint.Snapshot per rack, all at the same step, as a
+	// LinkedCheckpoint sink previously received. The plant and controller
+	// of every rack restore bit-identically; the coordinator comes up
+	// through its crash-restart path (soft-state wipe, heartbeat version
+	// recovery), so the link re-syncs exactly as it would after a real
+	// coordinator restart. The Result covers only the resumed window
+	// (StartStep onward).
+	Resume []*checkpoint.Snapshot
 	// Link configures the coordinator↔rack control link (RunLinked).
 	Link LinkConfig
+}
+
+// LinkedCheckpoint configures coherent row snapshots during RunLinked.
+type LinkedCheckpoint struct {
+	// EveryS is the capture cadence in simulated seconds (≥ one tick).
+	// The first capture lands one cadence after the run (or resume)
+	// starts; a cancellation through Config.Stop always captures a final
+	// set before returning, so a drain loses at most the canceled tick.
+	EveryS float64
+	// Sink receives each capture on the coordinating goroutine: one
+	// snapshot per rack, all at the same Step. It must return quickly —
+	// the whole row waits on it. Persisting the set atomically (all racks
+	// or none) is the sink's job; cmd/sprintd writes one framed file per
+	// row for exactly that reason.
+	Sink func(snaps []*checkpoint.Snapshot)
 }
 
 // LinkConfig enables and tunes the lease-based control link of RunLinked
@@ -130,6 +164,34 @@ func (c Config) Validate() error {
 	}
 	if c.FeederBudgetW < 0 {
 		return errors.New("cluster: FeederBudgetW must be non-negative")
+	}
+	if c.Checkpoint != nil {
+		if !c.Link.Enabled {
+			return errors.New("cluster: Checkpoint requires Link.Enabled (coherent row snapshots are a linked-run feature)")
+		}
+		if c.Checkpoint.EveryS < c.Scenario.DtS {
+			return fmt.Errorf("cluster: Checkpoint.EveryS %g s is below the tick %g s", c.Checkpoint.EveryS, c.Scenario.DtS)
+		}
+		if c.Checkpoint.Sink == nil {
+			return errors.New("cluster: Checkpoint.Sink must be set")
+		}
+	}
+	if c.Resume != nil {
+		if !c.Link.Enabled {
+			return errors.New("cluster: Resume requires Link.Enabled")
+		}
+		if len(c.Resume) != c.NumRacks {
+			return fmt.Errorf("cluster: Resume holds %d snapshots for %d racks", len(c.Resume), c.NumRacks)
+		}
+		for i, sp := range c.Resume {
+			if sp == nil {
+				return fmt.Errorf("cluster: Resume snapshot for rack %d is nil", i)
+			}
+			if sp.Step != c.Resume[0].Step {
+				return fmt.Errorf("cluster: Resume snapshots are incoherent: rack %d at step %d, rack 0 at step %d",
+					i, sp.Step, c.Resume[0].Step)
+			}
+		}
 	}
 	if !c.Link.Enabled {
 		return c.Scenario.Validate()

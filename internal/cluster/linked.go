@@ -31,6 +31,11 @@ const FeederTolerance = 0.035
 type LinkedResult struct {
 	Result
 
+	// StartStep is the first executed step: 0 for a fresh run, the resume
+	// snapshots' step for a run resumed through Config.Resume. AggregateW
+	// and the feeder statistics cover [StartStep, steps) only.
+	StartStep int
+
 	// FeederExceedFrac is the fraction of ticks the aggregate draw exceeded
 	// the feeder budget by more than the tracking tolerance.
 	FeederExceedFrac float64
@@ -204,6 +209,18 @@ func RunLinked(cfg Config) (*LinkedResult, error) {
 	clients := make([]*link.Client, cfg.NumRacks)
 	inners := make([]*core.SprintCon, cfg.NumRacks)
 	for i := range runners {
+		// Runner construction is the expensive pre-run phase (per-tick
+		// series preallocation, trace generation — seconds per rack at
+		// day-long horizons), so honor cancellation between racks: a run
+		// stopped during setup returns within one rack's build, not after
+		// all of them.
+		if cfg.Stop != nil {
+			select {
+			case <-cfg.Stop:
+				return nil, sim.ErrCanceled
+			default:
+			}
+		}
 		scn, inner := linkedRackJob(cfg, i, rackScn, boot[i].PhaseOffsetS)
 		inners[i] = inner
 		b := boot[i]
@@ -217,6 +234,9 @@ func RunLinked(cfg Config) (*LinkedResult, error) {
 			clients[i].Attach(cfg.Link.Obs.Racks[i])
 			opts.Obs = cfg.Link.Obs.Racks[i]
 		}
+		if cfg.Resume != nil {
+			opts.Resume = cfg.Resume[i]
+		}
 		r, err := sim.NewRunner(scn, lp, opts)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: rack %d: %w", i, err)
@@ -225,11 +245,48 @@ func RunLinked(cfg Config) (*LinkedResult, error) {
 	}
 
 	steps := runners[0].StepsTotal()
-	aggregate := make([]float64, steps)
+	start := runners[0].StepIndex()
+	if start > 0 {
+		// A resumed run: the coordinator is a fresh process over restored
+		// racks. Bring it up through its crash-restart path so its lease
+		// bookkeeping matches reality (no beats seen yet, a full TTL of
+		// conservatism for grants the racks may still hold).
+		coord.Restart(float64(start) * dt)
+	}
+	aggregate := make([]float64, steps-start)
 	workers := runtime.GOMAXPROCS(0)
 	stepErrs := make([]error, cfg.NumRacks)
 	coordDown := false
-	for step := 0; step < steps; step++ {
+	canceled := false
+
+	// Coherent row snapshots: every rack exported at the same tick
+	// boundary, handed to the sink as one set.
+	lastCkS := float64(start) * dt
+	captureRow := func(tNext float64) error {
+		snaps := make([]*checkpoint.Snapshot, len(runners))
+		for i, r := range runners {
+			sp, err := r.ExportSnapshot()
+			if err != nil {
+				return fmt.Errorf("cluster: rack %d checkpoint: %w", i, err)
+			}
+			snaps[i] = sp
+		}
+		cfg.Checkpoint.Sink(snaps)
+		lastCkS = tNext
+		return nil
+	}
+
+	for step := start; step < steps; step++ {
+		if cfg.Stop != nil {
+			select {
+			case <-cfg.Stop:
+				canceled = true
+			default:
+			}
+			if canceled {
+				break
+			}
+		}
 		now := float64(step) * dt
 
 		// 1. Network fault schedule, and the coordinator's crash/restart
@@ -265,8 +322,9 @@ func RunLinked(cfg Config) (*LinkedResult, error) {
 				sem <- struct{}{}
 				go func(i int, r *sim.Runner) {
 					defer wg.Done()
+					defer func() { <-sem }()
+					defer sim.RecoverPanic(&stepErrs[i])
 					stepErrs[i] = r.Step()
-					<-sem
 				}(i, r)
 			}
 			wg.Wait()
@@ -304,14 +362,37 @@ func RunLinked(cfg Config) (*LinkedResult, error) {
 		for _, r := range runners {
 			agg += r.LastCBPowerW()
 		}
-		aggregate[step] = agg
+		aggregate[step-start] = agg
 		if cfg.Link.OnTick != nil {
 			cfg.Link.OnTick(step, now, agg)
 		}
+
+		// 6. Cadenced coherent checkpoint at the tick boundary just
+		// crossed (the exported step is step+1, the next to execute).
+		if cfg.Checkpoint != nil {
+			tNext := float64(step+1) * dt
+			if tNext >= lastCkS+cfg.Checkpoint.EveryS-1e-9 {
+				if err := captureRow(tNext); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	if canceled {
+		// A drain wants the freshest possible resume point: capture the
+		// boundary the run stopped at, then report the cancellation.
+		if cfg.Checkpoint != nil {
+			if err := captureRow(math.NaN()); err != nil {
+				return nil, err
+			}
+		}
+		return nil, sim.ErrCanceled
 	}
 
 	out := &LinkedResult{
 		Result:     Result{Racks: make([]*sim.Result, cfg.NumRacks), AggregateW: aggregate},
+		StartStep:  start,
 		Transport:  tr.Stats(),
 		Coord:      coord.Stats(),
 		Clients:    make([]link.ClientStats, cfg.NumRacks),

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"sprintcon/internal/alloc"
+	"sprintcon/internal/checkpoint"
 	"sprintcon/internal/core"
 	"sprintcon/internal/faults"
 	"sprintcon/internal/obs"
@@ -70,6 +71,28 @@ type Config struct {
 	// OnRowDone, when non-nil, is called after each row's sweep shard
 	// completes (RunSweep only; shards finish in row order).
 	OnRowDone func(row int)
+	// Stop, when non-nil, cancels the run once the channel closes. Linked
+	// rows poll it between lock-step ticks, sweep racks between sim ticks,
+	// so cancellation lands within one tick of simulated progress; the
+	// canceled run returns an error satisfying errors.Is(err,
+	// sim.ErrCanceled).
+	Stop <-chan struct{}
+	// CheckpointEveryS, when positive together with OnRowCheckpoint,
+	// captures coherent per-row snapshots during RunLinked: every rack of
+	// a row exported at the same tick boundary, every CheckpointEveryS
+	// simulated seconds, plus a final set when the run cancels. Rows run
+	// concurrently, so OnRowCheckpoint must be safe for concurrent use
+	// across different row ids.
+	CheckpointEveryS float64
+	OnRowCheckpoint  func(row int, snaps []*checkpoint.Snapshot)
+	// Resume, when non-nil, resumes a linked run from journaled row
+	// snapshots: index = row id, each entry a coherent per-rack set as
+	// OnRowCheckpoint received it (nil entries start their row from step
+	// 0). Rows may resume from different steps — each row's snapshots are
+	// captured on its own lock-step cadence — so the building-level series
+	// and statistics cover the common window ⟦max(row starts), end⟧ (see
+	// Result.ResumeStep).
+	Resume [][]*checkpoint.Snapshot
 }
 
 // DefaultConfig returns the acceptance topology: four rows of sixteen

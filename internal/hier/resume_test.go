@@ -1,0 +1,109 @@
+package hier
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"sprintcon/internal/checkpoint"
+	"sprintcon/internal/sim"
+)
+
+// TestRunLinkedCancelAndResume: a building run canceled mid-flight returns
+// sim.ErrCanceled, leaves one final coherent checkpoint per row, and a run
+// resumed from those snapshots covers the remaining common window —
+// Result.ResumeStep is the latest row start and the building series has
+// exactly steps−ResumeStep samples.
+func TestRunLinkedCancelAndResume(t *testing.T) {
+	c := testConfig()
+	stop := make(chan struct{})
+	c.Stop = stop
+	var mu sync.Mutex
+	latest := map[int][]*checkpoint.Snapshot{}
+	c.CheckpointEveryS = 100
+	c.OnRowCheckpoint = func(row int, snaps []*checkpoint.Snapshot) {
+		mu.Lock()
+		latest[row] = snaps
+		mu.Unlock()
+	}
+	var once sync.Once
+	c.OnRowTick = func(row, step int, _, _ float64) {
+		if step >= 199 {
+			once.Do(func() { close(stop) })
+		}
+	}
+	_, err := RunLinked(c)
+	if !errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("err = %v, want sim.ErrCanceled", err)
+	}
+	mu.Lock()
+	resume := [][]*checkpoint.Snapshot{latest[0], latest[1]}
+	mu.Unlock()
+	for row, snaps := range resume {
+		if len(snaps) != c.Rows[row].Racks {
+			t.Fatalf("row %d final capture has %d racks, want %d", row, len(snaps), c.Rows[row].Racks)
+		}
+	}
+
+	c2 := testConfig()
+	c2.Resume = resume
+	res, err := RunLinked(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for row, snaps := range resume {
+		start := int(snaps[0].Step)
+		if res.Rows[row].StartStep != start {
+			t.Errorf("row %d StartStep = %d, want %d", row, res.Rows[row].StartStep, start)
+		}
+		if start > want {
+			want = start
+		}
+	}
+	if res.ResumeStep != want {
+		t.Errorf("ResumeStep = %d, want %d (latest row start)", res.ResumeStep, want)
+	}
+	steps := int(c2.Scenario.DurationS / c2.Scenario.DtS)
+	if len(res.BuildingAggregateW) != steps-res.ResumeStep {
+		t.Errorf("building series covers %d steps, want %d", len(res.BuildingAggregateW), steps-res.ResumeStep)
+	}
+	if res.CBTrips != 0 || res.OutageS != 0 {
+		t.Errorf("resumed building tripped: cb=%d outage=%g", res.CBTrips, res.OutageS)
+	}
+}
+
+// TestRunSweepCancel: sweeps poll the stop channel too — both between rows
+// and inside the racks' tick loops.
+func TestRunSweepCancel(t *testing.T) {
+	c := testConfig()
+	stop := make(chan struct{})
+	close(stop)
+	c.Stop = stop
+	if _, err := RunSweep(c); !errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("pre-closed stop: err = %v, want sim.ErrCanceled", err)
+	}
+}
+
+// TestRunLinkedPanicIsolated: a panic inside a row callback surfaces as a
+// *sim.PanicError naming the row instead of crashing the process.
+func TestRunLinkedPanicIsolated(t *testing.T) {
+	c := testConfig()
+	c.OnRowTick = func(row, step int, _, _ float64) {
+		if row == 1 && step == 10 {
+			panic("boom from row 1")
+		}
+	}
+	_, err := RunLinked(c)
+	if err == nil {
+		t.Fatal("panicking run returned nil error")
+	}
+	var pe *sim.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want a *sim.PanicError", err)
+	}
+	if !strings.Contains(err.Error(), "boom from row 1") || !strings.Contains(err.Error(), "hier: row 1") {
+		t.Fatalf("error lacks panic value or row attribution: %v", err)
+	}
+}

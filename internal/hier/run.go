@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"sprintcon/internal/checkpoint"
 	"sprintcon/internal/cluster"
 	"sprintcon/internal/sim"
 	"sprintcon/internal/stats"
@@ -18,8 +19,16 @@ type Result struct {
 	// per-rack results), index = row id.
 	Rows []*cluster.LinkedResult
 
-	// BuildingAggregateW is the building feeder draw per tick — the sum of
-	// the row aggregates.
+	// ResumeStep is the first step of the building-level series: 0 for a
+	// fresh run; for a run resumed through Config.Resume it is the latest
+	// row's resume step, since the building draw is only defined where
+	// every row has samples. Per-row statistics cover each row's own
+	// resumed window.
+	ResumeStep int
+
+	// BuildingAggregateW is the building feeder draw per tick from
+	// ResumeStep on — the sum of the row aggregates over the common
+	// window.
 	BuildingAggregateW []float64
 	// BuildingPeakW and BuildingMeanW summarize the building draw.
 	BuildingPeakW, BuildingMeanW float64
@@ -90,6 +99,17 @@ func rowClusterConfig(c Config, a Allocation, row int) cluster.Config {
 		FeederBudgetW: ra.BudgetW,
 		SprintCon:     c.SprintCon,
 		Serial:        c.Serial,
+		Stop:          c.Stop,
+	}
+	if c.CheckpointEveryS > 0 && c.OnRowCheckpoint != nil {
+		sink := c.OnRowCheckpoint
+		ccfg.Checkpoint = &cluster.LinkedCheckpoint{
+			EveryS: c.CheckpointEveryS,
+			Sink:   func(snaps []*checkpoint.Snapshot) { sink(row, snaps) },
+		}
+	}
+	if c.Resume != nil && row < len(c.Resume) {
+		ccfg.Resume = c.Resume[row]
 	}
 	ccfg.Link.Enabled = true
 	ccfg.Link.Seed = c.Seed + int64(row)
@@ -122,9 +142,15 @@ func RunLinked(c Config) (*Result, error) {
 	}
 	out := &Result{Alloc: a, Rows: make([]*cluster.LinkedResult, len(a.Rows))}
 	errs := make([]error, len(a.Rows))
+	runRow := func(i int) {
+		// A panic in a row (policy, link callback, checkpoint sink) fails
+		// the run with a *sim.PanicError instead of killing the process.
+		defer sim.RecoverPanic(&errs[i])
+		out.Rows[i], errs[i] = cluster.RunLinked(rowClusterConfig(c, a, i))
+	}
 	if c.Serial {
 		for i := range a.Rows {
-			out.Rows[i], errs[i] = cluster.RunLinked(rowClusterConfig(c, a, i))
+			runRow(i)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -132,7 +158,7 @@ func RunLinked(c Config) (*Result, error) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				out.Rows[i], errs[i] = cluster.RunLinked(rowClusterConfig(c, a, i))
+				runRow(i)
 			}(i)
 		}
 		wg.Wait()
@@ -143,18 +169,29 @@ func RunLinked(c Config) (*Result, error) {
 		}
 	}
 
+	// Building draw over the common window: rows resumed from journaled
+	// snapshots may start at different steps, so the building series is
+	// only defined from the latest row start on. Fresh runs have every
+	// StartStep zero and the legacy full-length behavior.
+	steps := -1
 	for i, row := range out.Rows {
+		if row.StartStep > out.ResumeStep {
+			out.ResumeStep = row.StartStep
+		}
+		if rowSteps := row.StartStep + len(row.AggregateW); steps == -1 {
+			steps = rowSteps
+		} else if rowSteps != steps {
+			return nil, fmt.Errorf("hier: row %d aggregate length mismatch", i)
+		}
+	}
+	out.BuildingAggregateW = make([]float64, steps-out.ResumeStep)
+	for _, row := range out.Rows {
 		out.CBTrips += row.CBTrips
 		out.OutageS += row.OutageS
 		out.DeadlineMisses += row.DeadlineMisses
-		if out.BuildingAggregateW == nil {
-			out.BuildingAggregateW = make([]float64, len(row.AggregateW))
-		}
-		if len(row.AggregateW) != len(out.BuildingAggregateW) {
-			return nil, fmt.Errorf("hier: row %d aggregate length mismatch", i)
-		}
-		for t, w := range row.AggregateW {
-			out.BuildingAggregateW[t] += w
+		off := out.ResumeStep - row.StartStep
+		for t := range out.BuildingAggregateW {
+			out.BuildingAggregateW[t] += row.AggregateW[off+t]
 		}
 	}
 	out.BuildingPeakW = stats.Max(out.BuildingAggregateW)

@@ -83,12 +83,21 @@ func RunSweep(c Config) (*SweepResult, error) {
 		RowTrips:      make([]int, len(a.Rows)),
 	}
 	for r := range a.Rows {
+		if c.Stop != nil {
+			select {
+			case <-c.Stop:
+				return nil, fmt.Errorf("hier: row %d: %w", r, sim.ErrCanceled)
+			default:
+			}
+		}
 		n := a.Rows[r].Racks
 		opts := func(j int) sim.RunOptions {
-			if c.RackOptions == nil {
-				return sim.RunOptions{}
+			o := sim.RunOptions{}
+			if c.RackOptions != nil {
+				o = c.RackOptions(r, j)
 			}
-			return c.RackOptions(r, j)
+			o.Stop = c.Stop
+			return o
 		}
 		if c.Serial {
 			out.Rows[r] = make([]*sim.Result, n)

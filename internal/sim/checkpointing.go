@@ -306,6 +306,64 @@ func snapFromState(st checkpoint.SnapState) Snapshot {
 	}
 }
 
+// ExportSnapshot captures the run's complete state at the current tick
+// boundary — the position of the next tick to execute — as a validated
+// checkpoint.Snapshot, independent of any per-rack CheckpointOptions
+// cadence. Lock-step drivers use it to assemble *coherent* multi-rack
+// snapshots: calling it on every rack of a row between two lock-step ticks
+// yields one snapshot per rack, all at the same step, which is what a
+// service-level restart needs to resume the whole row (per-rack
+// CheckpointOptions captures skip ticks while an injected crash holds the
+// controller down, so their latest steps can disagree across racks).
+//
+// Policies that do not implement Checkpointable still get a plant-only
+// snapshot (HasController false); a resume then restarts the policy fresh
+// against the restored plant.
+func (r *Runner) ExportSnapshot() (*checkpoint.Snapshot, error) {
+	if r.scnSum == 0 {
+		sum, err := ScenarioSum(r.scn)
+		if err != nil {
+			return nil, err
+		}
+		r.scnSum = sum
+	}
+	now := r.Now()
+	sp := &checkpoint.Snapshot{
+		Version:     checkpoint.Version,
+		SimTimeS:    now,
+		Step:        int64(r.step),
+		PolicyName:  r.p.Name(),
+		ScenarioSum: r.scnSum,
+	}
+	if cp, ok := r.p.(Checkpointable); ok {
+		sp.HasController = true
+		sp.Controller = cp.ExportCheckpoint(now)
+	}
+	sp.Plant = checkpoint.PlantState{
+		Breaker: r.env.Breaker.ExportState(),
+		UPS:     r.env.UPS.ExportState(),
+		Rack:    r.env.Rack.ExportState(),
+		Engine: checkpoint.EngineState{
+			Outage:          r.outage,
+			OutageS:         r.res.OutageS,
+			CBTrips:         r.res.CBTrips,
+			ControlledTicks: r.controlledTicks,
+			OverTicks:       r.overTicks,
+			TrackErrSum:     r.trackErrSum,
+			EventSeq:        r.env.Events.Len(),
+			Snap:            snapToState(r.snap),
+		},
+	}
+	if r.inj != nil {
+		sp.Plant.HasInjector = true
+		sp.Plant.Injector = r.inj.ExportState()
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
 // resumeState is what applyResume hands back to the tick loop.
 type resumeState struct {
 	startStep   int

@@ -108,6 +108,9 @@ func (r *Runner) RunEvent() error {
 		// No fixed-point contract or statically ineligible: the event
 		// engine degenerates to the exact tick loop (0 spans reported).
 		for !r.Done() {
+			if stopped(r.opts.Stop) {
+				return ErrCanceled
+			}
 			if err := r.Step(); err != nil {
 				return err
 			}
@@ -121,6 +124,9 @@ func (r *Runner) RunEvent() error {
 		lastInputChange: r.step,
 	}
 	for !r.Done() {
+		if stopped(r.opts.Stop) {
+			return ErrCanceled
+		}
 		if r.spanReady() {
 			if n := r.planSpan(); n >= minSpanTicks {
 				r.fastForward(n)

@@ -1,0 +1,30 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError wraps a panic recovered on a run worker goroutine, carrying
+// the panic value and the goroutine stack at the point of the panic.
+// Callers detect it with errors.As.
+type PanicError struct {
+	Val   any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sim: panic: %v\n%s", e.Val, e.Stack)
+}
+
+// RecoverPanic is a deferred helper that converts a panic on the current
+// goroutine into a *PanicError assigned to *errp. Every goroutine the run
+// fan-out spawns (sim worker jobs, cluster rack steps, hier rows) defers
+// it, so a panicking policy, model or callback fails its run with a
+// diagnosable error instead of killing the whole process — the isolation
+// sprintd's supervisor relies on to keep serving across a bad run.
+func RecoverPanic(errp *error) {
+	if p := recover(); p != nil {
+		*errp = &PanicError{Val: p, Stack: debug.Stack()}
+	}
+}

@@ -53,7 +53,7 @@ func RunMany(jobs []Job) (map[string]*Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res, err := RunWith(j.Scenario, j.Policy, j.Opts)
+			res, err := runJob(j)
 			results <- outcome{key: j.Key, res: res, err: err}
 		}(j)
 	}
@@ -90,7 +90,7 @@ func RunManyOrdered(jobs []Job) ([]*Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			out[i], errs[i] = RunWith(j.Scenario, j.Policy, j.Opts)
+			out[i], errs[i] = runJob(j)
 		}(i, j)
 	}
 	wg.Wait()
@@ -104,4 +104,11 @@ func RunManyOrdered(jobs []Job) ([]*Result, error) {
 		}
 	}
 	return out, nil
+}
+
+// runJob executes one job with panic isolation: a panic on the worker
+// goroutine becomes a *PanicError instead of crashing the pool.
+func runJob(j Job) (res *Result, err error) {
+	defer RecoverPanic(&err)
+	return RunWith(j.Scenario, j.Policy, j.Opts)
 }

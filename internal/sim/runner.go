@@ -21,10 +21,11 @@ type Runner struct {
 	p    Policy
 	opts RunOptions
 
-	env *Env
-	res *Result
-	inj *faults.Injector
-	ckr *ckRuntime
+	env    *Env
+	res    *Result
+	inj    *faults.Injector
+	ckr    *ckRuntime
+	scnSum uint64 // lazy scenario fingerprint for ExportSnapshot
 
 	reporter TargetReporter
 	em       engineMetrics

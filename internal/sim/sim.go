@@ -362,6 +362,30 @@ type RunOptions struct {
 	// counting diagnostic log volume (each entry must box its format
 	// arguments and build a fresh string).
 	DropEvents bool
+	// Stop, when non-nil, is polled between ticks: once it closes, RunWith
+	// (and the event engine) abandon the run and return ErrCanceled. The
+	// check sits outside Runner.Step, so lock-step drivers that call Step
+	// directly (cluster.RunLinked) implement their own cancellation and
+	// the per-tick hot path is unchanged for runs that never cancel.
+	Stop <-chan struct{}
+}
+
+// ErrCanceled is returned by run loops abandoned through RunOptions.Stop
+// (or a lock-step driver's stop channel). Callers distinguish it from real
+// failures with errors.Is.
+var ErrCanceled = errors.New("sim: run canceled")
+
+// stopped reports whether the stop channel (if any) has closed.
+func stopped(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
 }
 
 // Run simulates the scenario under the policy with telemetry disabled.
@@ -434,6 +458,9 @@ func RunWith(scn Scenario, p Policy, opts RunOptions) (*Result, error) {
 	switch opts.Engine {
 	case "", "tick":
 		for !r.Done() {
+			if stopped(opts.Stop) {
+				return nil, ErrCanceled
+			}
 			if err := r.Step(); err != nil {
 				return nil, err
 			}
